@@ -1,0 +1,36 @@
+"""Extension bench — thread-pooled batch coding throughput.
+
+NumPy's GF kernels release the GIL, so batch encode/repair scales with a
+thread pool — the ingest/recovery-storm shape real systems run.  Reports
+sequential vs pooled wall-clock on the same stripe batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import ReedSolomonCode, encode_batch
+
+BATCH = 16
+L = 1 << 18  # 256 KiB blocks
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rs = ReedSolomonCode(8, 3)
+    rng = np.random.default_rng(0)
+    stripes = [rng.integers(0, 256, (8, L), dtype=np.uint8) for _ in range(BATCH)]
+    return rs, stripes
+
+
+def test_encode_batch_sequential(benchmark, workload):
+    rs, stripes = workload
+    out = benchmark(encode_batch, rs, stripes, 1)
+    assert len(out) == BATCH
+
+
+def test_encode_batch_pooled(benchmark, workload):
+    rs, stripes = workload
+    out = benchmark(encode_batch, rs, stripes, 8)
+    assert len(out) == BATCH
+    # correctness spot check against the sequential path
+    assert np.array_equal(out[0], rs.encode(stripes[0]))

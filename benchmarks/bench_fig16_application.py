@@ -1,0 +1,22 @@
+"""Fig. 16 — application performance under the four Table V traces.
+
+Closed-loop replay on the simulated cluster.  Shape checks: EC-Fusion
+tracks RS closely (paper: ≤ 1.04 % overhead) and beats MSR by a wide,
+write-intensity-correlated margin (paper: up to 78.03 %).
+"""
+
+from repro.experiments import fig16_application
+
+
+def test_fig16_application(benchmark, bench_config, save_result):
+    fig = benchmark.pedantic(
+        lambda: fig16_application.compute(bench_config), rounds=1, iterations=1
+    )
+    save_result("fig16_application", fig16_application.render(fig))
+    traces = fig.campaign.traces()
+    assert max(fig.fusion_improvement_vs("MSR", t) for t in traces) > 0.6
+    assert max(fig.fusion_overhead_vs_rs(t) for t in traces) < 0.03
+    # the MSR gap grows with write intensity (mds1 read-heavy -> rsrch0 write-heavy)
+    assert fig.fusion_improvement_vs("MSR", "rsrch0") > fig.fusion_improvement_vs(
+        "MSR", "mds1"
+    )

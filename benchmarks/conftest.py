@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Simulation-backed benches share one memoised campaign configuration so the
+full suite (`pytest benchmarks/ --benchmark-only`) finishes in about a
+minute.  Every bench writes its rendered figure/table to
+``benchmarks/results/`` and echoes it, so the regenerated rows/series the
+paper reports are inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The campaign configuration all simulation benches share."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer that persists rendered figure text next to the benches."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

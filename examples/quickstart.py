@@ -1,0 +1,73 @@
+"""Quickstart: erasure codes and the EC-Fusion framework in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through (1) encoding/decoding with RS and the coupled-layer MSR
+code, (2) MSR's repair-bandwidth advantage, and (3) the adaptive
+EC-Fusion store flipping a stripe between the two codes.
+"""
+
+import numpy as np
+
+from repro.codes import MSRCode, ReedSolomonCode
+from repro.fusion import CodeKind, ECFusion, SystemProfile
+
+rng = np.random.default_rng(42)
+
+
+def section(title):
+    print(f"\n=== {title} ===")
+
+
+# ---------------------------------------------------------------- 1. RS basics
+section("Reed-Solomon RS(8,3): encode, lose 3 blocks, decode")
+rs = ReedSolomonCode(k=8, r=3)
+data = rng.integers(0, 256, (8, 1024), dtype=np.uint8)
+coded = rs.encode(data)
+print(f"encoded {rs.k} data blocks into {rs.n} (storage overhead {rs.storage_overhead:.3f})")
+
+lost = {0, 5, 9}
+survivors = {i: coded[i] for i in range(rs.n) if i not in lost}
+recovered = rs.decode(survivors)
+assert np.array_equal(recovered, coded)
+print(f"lost blocks {sorted(lost)} -> decoded successfully from any {rs.k} survivors")
+
+# ------------------------------------------------------------- 2. MSR repair
+section("MSR(6,3,3,9): same fault tolerance, 44% less repair traffic")
+msr = MSRCode(n=6, k=3)
+data3 = rng.integers(0, 256, (3, msr.subpacketization * 128), dtype=np.uint8)
+coded3 = msr.encode(data3)
+L = coded3.shape[1]
+
+res = msr.repair(0, {i: coded3[i] for i in range(1, 6)})
+assert np.array_equal(res.block, coded3[0])
+naive = msr.k * L
+print(f"block size: {L} B; naive repair reads k x L = {naive} B")
+print(
+    f"MSR repair read {res.total_bytes_read} B "
+    f"({res.total_bytes_read / naive:.2%} of naive) from {len(res.bytes_read)} helpers"
+)
+
+# ----------------------------------------------------------- 3. EC-Fusion
+section("EC-Fusion(8,3): stripes adapt between RS and MSR")
+fusion = ECFusion(k=8, r=3, profile=SystemProfile())
+stripe_data = rng.integers(0, 256, (8, 9 * 16), dtype=np.uint8)
+fusion.write("stripe-0", stripe_data)
+print(f"after write:        {fusion.code_of('stripe-0').value.upper()}  (writes default to RS)")
+
+report = fusion.recover("stripe-0", 2)
+print(
+    f"after 1st failure:  {fusion.code_of('stripe-0').value.upper()}  "
+    f"(repair read {report.bytes_read} B, conversions: "
+    f"{[c.trigger for c in report.conversions]})"
+)
+
+for _ in range(int(fusion.selector.eta) + 1):
+    fusion.write("stripe-0", stripe_data)
+print(f"after write burst:  {fusion.code_of('stripe-0').value.upper()}  (δ ≥ η flips it back)")
+
+assert np.array_equal(fusion.read_stripe("stripe-0"), stripe_data)
+print("data intact across both conversions ✓")
+print("\nstats:", {k: v for k, v in fusion.stats().items() if not k.startswith('trigger')})

@@ -1,0 +1,42 @@
+"""Reliability consequences of repair speed: MTTDL across schemes.
+
+Run with::
+
+    python examples/reliability_analysis.py
+
+The paper motivates EC-Fusion with faster recovery; this example
+quantifies the reliability payoff using a birth-death MTTDL model whose
+repair rates come from the same analytic cost model as Figs. 14-15, and
+shows how the advantage shifts with disk quality and EC-Fusion's
+MSR-resident fraction h.
+"""
+
+from repro.experiments import format_table
+from repro.metrics import ReliabilityModel
+
+model = ReliabilityModel(k=8, r=3)
+
+rows = []
+for sr in sorted(model.compare(h=1 / 6), key=lambda s: -s.mttdl_hours):
+    rows.append([sr.scheme, f"{sr.repair_hours * 3600:.2f}", f"{sr.mttdl_years:.3e}"])
+print(
+    format_table(
+        ["scheme", "repair time (s)", "MTTDL (years)"],
+        rows,
+        title="MTTDL at h = 1/6 (k=8, r=3, 27 MB chunks, disk MTTF 1.4M h)",
+    )
+)
+
+print("\nEC-Fusion MTTDL vs its MSR-resident fraction h:")
+for h in (0.0, 1 / 6, 0.5, 1.0):
+    sr = model.mttdl("ecfusion", h=h)
+    print(f"  h={h:>5.0%}: {sr.mttdl_years:.3e} years "
+          f"(repair mix {sr.repair_hours * 3600:.2f}s)")
+
+print("\nWith flaky disks (MTTF 200k hours) the repair-speed gap matters more:")
+flaky = ReliabilityModel(k=8, r=3, disk_mttf_hours=2e5)
+rs = flaky.mttdl("rs")
+ecf = flaky.mttdl("ecfusion")
+print(f"  RS:        {rs.mttdl_years:.3e} years")
+print(f"  EC-Fusion: {ecf.mttdl_years:.3e} years "
+      f"({ecf.mttdl_hours / rs.mttdl_hours:.2f}x)")

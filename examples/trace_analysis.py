@@ -1,0 +1,75 @@
+"""Workload anatomy: the Table V stand-ins and the failure model.
+
+Run with::
+
+    python examples/trace_analysis.py
+
+Regenerates the paper's Table V from the synthetic trace generators,
+shows how closely each stand-in matches the published statistics, and
+illustrates the temporal/spatial locality of the recovery workload
+(§IV-A.2) that EC-Fusion's adaptation exploits.
+"""
+
+from collections import Counter
+
+from repro.experiments import format_table
+from repro.workloads import (
+    TABLE_V,
+    TRACE_NAMES,
+    FailureConfig,
+    generate_failures,
+    make_trace,
+)
+
+# ------------------------------------------------------------------ Table V
+rows = []
+for name in TRACE_NAMES:
+    spec = TABLE_V[name]
+    trace = make_trace(name, num_requests=20_000)
+    s = trace.stats()
+    rows.append(
+        [
+            spec.name,
+            f"{s.read_fraction:.2%} / {spec.read_fraction:.2%}",
+            f"{s.iops:.2f} / {spec.iops:.2f}",
+            f"{s.avg_request_size / 1024:.1f} / {spec.avg_request_size / 1024:.1f} KB",
+        ]
+    )
+print(
+    format_table(
+        ["Trace", "Read% (ours/paper)", "IOPS (ours/paper)", "Req size (ours/paper)"],
+        rows,
+        title="Table V stand-ins: generated vs published statistics",
+    )
+)
+
+# ------------------------------------------------------- failure locality demo
+print("\nFailure locality (40 failures over 64 stripes x 8 blocks):")
+for decay, label in ((0.0, "no spatial locality"), (5.0, "mild"), (200.0, "strong (paper-like)")):
+    config = FailureConfig(
+        count=40, horizon=1000.0, num_stripes=64, blocks_per_stripe=8, spatial_decay=decay
+    )
+    events = generate_failures(config, seed=3)
+    per_stripe = Counter(e.stripe for e in events)
+    top = ", ".join(f"s{s}×{c}" for s, c in per_stripe.most_common(3))
+    print(
+        f"  decay={decay:>6}: {len(per_stripe):2d} distinct stripes hit "
+        f"({label}); hottest: {top}"
+    )
+
+print(
+    "\nStrong spatial locality concentrates repairs on few stripes — exactly "
+    "the regime where converting those stripes to MSR(2r,r) amortises the "
+    "transformation cost across many cheap repairs."
+)
+
+# ------------------------------------------------------- temporal burstiness
+config = FailureConfig(
+    count=20, horizon=1000.0, num_stripes=64, blocks_per_stripe=8, temporal_sigma=0.9
+)
+events = generate_failures(config, seed=5)
+gaps = [b.time - a.time for a, b in zip(events, events[1:])]
+print(
+    f"\nTemporal locality: inter-failure gaps range {min(gaps):.1f}s – {max(gaps):.1f}s "
+    f"around a {1000 / 20:.0f}s mean (normal-distributed intervals, §IV-A.2)"
+)

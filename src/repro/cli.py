@@ -1,0 +1,174 @@
+"""Command-line interface: regenerate any figure/table of the paper.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig13 fig14          # analytic figures (fast)
+    python -m repro fig16 --requests 800 # simulation figures
+    python -m repro table7 --k 8 6
+    python -m repro all                  # the whole evaluation
+
+Simulation-backed commands share one memoised campaign per configuration,
+so ``all`` costs barely more than its slowest member.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ExperimentConfig,
+    eta_landscape,
+    lifetime,
+    robustness,
+    sensitivity,
+    fig13_storage,
+    fig14_computation,
+    fig15_transmission,
+    fig16_application,
+    fig17_recovery,
+    fig18_overall,
+    fig19_cost_effective,
+    table4_allocation,
+    table7_summary,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig13(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return fig13_storage.render([fig13_storage.compute(k) for k in ks])
+
+
+def _run_fig14(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return fig14_computation.render([fig14_computation.compute(k) for k in ks])
+
+
+def _run_fig15(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return fig15_transmission.render([fig15_transmission.compute(k) for k in ks])
+
+
+def _run_fig16(config: ExperimentConfig, ks) -> str:
+    return fig16_application.render(fig16_application.compute(config))
+
+
+def _run_fig17(config: ExperimentConfig, ks) -> str:
+    return fig17_recovery.render(fig17_recovery.compute(config))
+
+
+def _run_fig18(config: ExperimentConfig, ks) -> str:
+    return fig18_overall.render(fig18_overall.compute(config))
+
+
+def _run_fig19(config: ExperimentConfig, ks) -> str:
+    return fig19_cost_effective.render(fig19_cost_effective.compute(config))
+
+
+def _run_eta(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return "\n\n".join(eta_landscape.render(eta_landscape.compute(k)) for k in ks)
+
+
+def _run_lifetime(config: ExperimentConfig, ks) -> str:
+    return lifetime.render(lifetime.compute())
+
+
+def _run_robustness(config: ExperimentConfig, ks) -> str:
+    return robustness.render(robustness.compute())
+
+
+def _run_sensitivity(config: ExperimentConfig, ks) -> str:
+    return sensitivity.render(sensitivity.compute())
+
+
+def _run_table4(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return "\n\n".join(
+        table4_allocation.render(table4_allocation.compute(k)) for k in ks
+    )
+
+
+def _run_table7(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
+    return table7_summary.render(table7_summary.compute(config, ks=ks))
+
+
+#: name -> (runner, description, simulation-backed?)
+EXPERIMENTS = {
+    "fig13": (_run_fig13, "storage cost vs hybrid ratio (analytic)", False),
+    "fig14": (_run_fig14, "computational cost (analytic)", False),
+    "fig15": (_run_fig15, "transmission cost (analytic)", False),
+    "fig16": (_run_fig16, "application performance (simulation)", True),
+    "fig17": (_run_fig17, "recovery performance (simulation)", True),
+    "fig18": (_run_fig18, "overall performance (simulation)", True),
+    "fig19": (_run_fig19, "cost-effective ratio (simulation)", True),
+    "eta": (_run_eta, "η threshold landscape over (λ, α) (analytic extension)", False),
+    "lifetime": (_run_lifetime, "bathtub-curve adaptation + idle-expiry extension", True),
+    "sensitivity": (_run_sensitivity, "EC-Fusion gain vs RS across failure weights", True),
+    "robustness": (_run_robustness, "headline gains across workload seeds", True),
+    "table4": (_run_table4, "code allocation per workload category (analytic)", False),
+    "table7": (_run_table7, "improvement summary, k in {6,8} (simulation)", True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the EC-Fusion paper's evaluation figures/tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (fig13..fig19, table7), 'all', or 'list'",
+    )
+    parser.add_argument("--k", type=int, nargs="+", default=[6, 8], help="stripe widths")
+    parser.add_argument(
+        "--requests", type=int, default=None, help="application requests per run"
+    )
+    parser.add_argument("--stripes", type=int, default=None, help="working-set stripes")
+    parser.add_argument(
+        "--failure-rate", type=float, default=None, help="failures per request"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="workload seed")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    overrides = {}
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    if args.stripes is not None:
+        overrides["num_stripes"] = args.stripes
+    if args.failure_rate is not None:
+        overrides["failure_rate"] = args.failure_rate
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return ExperimentConfig(**overrides)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(args.experiments)
+
+    if names == ["list"]:
+        for name, (_, desc, _sim) in EXPERIMENTS.items():
+            print(f"  {name:8s} {desc}")
+        return 0
+    if "all" in names:
+        names = list(EXPERIMENTS)
+
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)} | all | list", file=sys.stderr)
+        return 2
+
+    config = config_from_args(args)
+    ks = tuple(args.k)
+    for name in names:
+        runner, _, _ = EXPERIMENTS[name]
+        print(runner(config, ks))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

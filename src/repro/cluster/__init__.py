@@ -1,0 +1,37 @@
+"""Simulated HDFS-like cluster substrate.
+
+Replaces the paper's Hadoop testbed: a discrete-event simulation of data
+nodes (disk + NIC + CPU FIFO resources), a namenode, an application client
+and a recovery manager.  :func:`repro.cluster.run_workload` replays a
+trace + failure stream against any :class:`repro.hybrid.SchemePlanner`.
+"""
+
+from .client import Client, PlanExecutor
+from .cluster import Cluster, ClusterConfig, SimulationResult, run_workload
+from .events import AllOf, Event, FIFOResource, Process, Simulator
+from .namenode import NameNode, StripeInfo
+from .network import Cpu, Link
+from .node import DataNode
+from .recovery import RecoveryManager
+from .simdisk import Disk
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "AllOf",
+    "FIFOResource",
+    "Disk",
+    "Link",
+    "Cpu",
+    "DataNode",
+    "NameNode",
+    "StripeInfo",
+    "PlanExecutor",
+    "Client",
+    "RecoveryManager",
+    "Cluster",
+    "ClusterConfig",
+    "SimulationResult",
+    "run_workload",
+]

@@ -1,0 +1,114 @@
+"""NameNode: file/stripe metadata and chunk placement.
+
+Mirrors HDFS's role split — data never flows through the namenode; it
+answers "which node holds slot s of stripe i".  Placement is rotational
+(stripe i's slot s lives on node ``(i·stride + s) mod N``), which spreads
+both primary data and repair load evenly, like HDFS's default block
+placement does in aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["StripeInfo", "NameNode"]
+
+
+@dataclass
+class StripeInfo:
+    """Metadata for one stripe: its placement and write history."""
+
+    stripe_id: Hashable
+    placement: list[int]  # slot -> node_id
+    writes: int = 0
+    reads: int = 0
+    recoveries: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class NameNode:
+    """Stripe registry + deterministic placement.
+
+    Parameters
+    ----------
+    num_nodes:
+        Cluster size; must be at least the scheme's stripe width so no
+        stripe places two chunks on one node.
+    width:
+        Slots per stripe (scheme-dependent).
+    racks:
+        Number of failure domains.  With ``racks > 1`` placement is
+        rack-aware: consecutive slots of a stripe land on *different*
+        racks (round-robin over racks, rotating the node within each
+        rack), so a rack loss takes out at most ⌈width/racks⌉ chunks of
+        any stripe.  ``racks = 1`` (default) is the flat rotational
+        placement.
+    """
+
+    def __init__(self, num_nodes: int, width: int, stride: int = 1, racks: int = 1):
+        if num_nodes < width:
+            raise ValueError(
+                f"cluster of {num_nodes} nodes cannot place {width}-wide stripes"
+            )
+        if racks < 1 or racks > num_nodes:
+            raise ValueError(f"racks must be in [1, num_nodes], got {racks}")
+        self.num_nodes = num_nodes
+        self.width = width
+        self.stride = stride
+        self.racks = racks
+        # rack r owns nodes r, r + racks, r + 2·racks, ... (striped layout)
+        self._rack_nodes = [
+            [n for n in range(num_nodes) if n % racks == r] for r in range(racks)
+        ]
+        self._stripes: dict[Hashable, StripeInfo] = {}
+        self._counter = 0
+
+    def rack_of(self, node: int) -> int:
+        """Failure domain of a node."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.racks
+
+    def nodes_in_rack(self, rack: int) -> list[int]:
+        """All nodes in one failure domain."""
+        return list(self._rack_nodes[rack])
+
+    def _place(self, index: int) -> list[int]:
+        if self.racks == 1:
+            base = index * self.stride
+            return [(base + s) % self.num_nodes for s in range(self.width)]
+        placement = []
+        for s in range(self.width):
+            rack = (index + s) % self.racks
+            members = self._rack_nodes[rack]
+            # rotate within the rack by stripe index and how many times this
+            # stripe has already wrapped around the racks
+            offset = (index + s // self.racks) % len(members)
+            placement.append(members[offset])
+        return placement
+
+    def lookup(self, stripe_id: Hashable) -> StripeInfo:
+        """Metadata for a stripe, creating it (with placement) on first use."""
+        info = self._stripes.get(stripe_id)
+        if info is None:
+            placement = self._place(self._counter)
+            self._counter += 1
+            info = StripeInfo(stripe_id=stripe_id, placement=placement)
+            self._stripes[stripe_id] = info
+        return info
+
+    def node_of(self, stripe_id: Hashable, slot: int) -> int:
+        """Which node stores ``slot`` of ``stripe_id``."""
+        info = self.lookup(stripe_id)
+        if not 0 <= slot < self.width:
+            raise ValueError(f"slot {slot} out of range for width {self.width}")
+        return info.placement[slot]
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self._stripes)
+
+    def stripes(self) -> list[StripeInfo]:
+        """All registered stripes (insertion order)."""
+        return list(self._stripes.values())

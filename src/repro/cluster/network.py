@@ -1,0 +1,74 @@
+"""Simulated network: per-node NIC links with bandwidth λ and fixed latency.
+
+The paper's testbed has a 1 Gbps NIC per node (λ = 125 MB/s, Table VI);
+each node's link is a FIFO server, so foreground application traffic and
+background recovery traffic queue against each other — the contention at
+the heart of the online-recovery scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from .events import FIFOResource, Simulator
+
+__all__ = ["Link", "Cpu"]
+
+
+class Link(FIFOResource):
+    """One node's network interface.
+
+    Parameters
+    ----------
+    bandwidth:
+        λ in bytes/second.
+    latency:
+        Fixed per-transfer cost in seconds (propagation + protocol).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "nic",
+        bandwidth: float = 125e6,
+        latency: float = 200e-6,
+    ):
+        super().__init__(sim, name)
+        if bandwidth <= 0 or latency < 0:
+            raise ValueError("invalid link parameters")
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.bytes_moved = 0.0
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Service time to move ``nbytes`` through this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency + nbytes / self.bandwidth if nbytes else 0.0
+
+    def transfer(self, nbytes: float) -> Generator:
+        """Generator: occupy the link for one transfer."""
+        self.bytes_moved += nbytes
+        yield from self.use(self.transfer_time(nbytes))
+
+
+class Cpu(FIFOResource):
+    """A coding CPU: α GF multiply/XOR byte-operations per second."""
+
+    def __init__(self, sim: Simulator, name: str = "cpu", alpha: float = 5e9):
+        super().__init__(sim, name)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.ops_done = 0.0
+
+    def compute_time(self, ops: float) -> float:
+        """Seconds to perform ``ops`` GF operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return ops / self.alpha
+
+    def compute(self, ops: float) -> Generator:
+        """Generator: occupy the CPU for ``ops`` GF operations."""
+        self.ops_done += ops
+        yield from self.use(self.compute_time(ops))

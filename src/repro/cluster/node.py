@@ -1,0 +1,48 @@
+"""A data node: disk + NIC + coding CPU, the unit of placement and failure."""
+
+from __future__ import annotations
+
+from .events import Simulator
+from .network import Cpu, Link
+from .simdisk import Disk
+
+__all__ = ["DataNode"]
+
+
+class DataNode:
+    """One storage server in the simulated cluster.
+
+    Attributes
+    ----------
+    node_id:
+        Dense index within the cluster.
+    disk, nic, cpu:
+        The three FIFO resources every operation contends on.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        disk_bandwidth: float = 500e6,
+        io_latency: float = 100e-6,
+        phi: float = 64 * 1024,
+        net_bandwidth: float = 125e6,
+        net_latency: float = 200e-6,
+        alpha: float = 5e9,
+    ):
+        self.node_id = node_id
+        self.disk = Disk(
+            sim,
+            name=f"disk{node_id}",
+            bandwidth=disk_bandwidth,
+            io_latency=io_latency,
+            phi=phi,
+        )
+        self.nic = Link(
+            sim, name=f"nic{node_id}", bandwidth=net_bandwidth, latency=net_latency
+        )
+        self.cpu = Cpu(sim, name=f"cpu{node_id}", alpha=alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DataNode {self.node_id}>"

@@ -1,0 +1,67 @@
+"""Simulated disk: a FIFO device with per-I/O latency and streaming bandwidth.
+
+Service time for an ``nbytes`` access is
+
+    ceil(nbytes / φ) · io_latency  +  nbytes / bandwidth
+
+— φ (bytes per I/O operation) comes from the same
+:class:`~repro.fusion.costmodel.SystemProfile` the analytic cost model
+uses, so simulated disk behaviour and Table III's γ/φ terms agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from .events import FIFOResource, Simulator
+
+__all__ = ["Disk"]
+
+
+class Disk(FIFOResource):
+    """One storage device attached to a data node.
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained throughput in bytes/second (default ≈ SSD class).
+    io_latency:
+        Seconds of fixed cost per I/O operation.
+    phi:
+        Bytes transferred by a single I/O operation (Table I's φ).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "disk",
+        bandwidth: float = 500e6,
+        io_latency: float = 100e-6,
+        phi: float = 64 * 1024,
+    ):
+        super().__init__(sim, name)
+        if bandwidth <= 0 or io_latency < 0 or phi <= 0:
+            raise ValueError("invalid disk parameters")
+        self.bandwidth = bandwidth
+        self.io_latency = io_latency
+        self.phi = phi
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+
+    def access_time(self, nbytes: float) -> float:
+        """Service time for one read or write of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        ios = math.ceil(nbytes / self.phi) if nbytes else 0
+        return ios * self.io_latency + nbytes / self.bandwidth
+
+    def read(self, nbytes: float) -> Generator:
+        """Generator: occupy the disk for one read."""
+        self.bytes_read += nbytes
+        yield from self.use(self.access_time(nbytes))
+
+    def write(self, nbytes: float) -> Generator:
+        """Generator: occupy the disk for one write."""
+        self.bytes_written += nbytes
+        yield from self.use(self.access_time(nbytes))

@@ -1,0 +1,43 @@
+"""Erasure codes: RS, MSR (coupled-layer), LRC, EVENODD, RDP, Hitchhiker, Product.
+
+All codes share the :class:`repro.codes.base.ErasureCode` interface —
+``encode`` / ``decode`` / ``repair`` on ``(nodes, block_len)`` uint8
+arrays — plus planning hooks the cluster simulator uses to price repairs
+without moving real bytes.
+"""
+
+from .batch import decode_batch, encode_batch, repair_batch
+from .base import (
+    CodeError,
+    ErasureCode,
+    LinearVectorCode,
+    ParameterError,
+    RepairResult,
+    UnrecoverableError,
+)
+from .evenodd import EvenOddCode
+from .hitchhiker import HitchhikerCode
+from .lrc import LocalReconstructionCode
+from .rdp import RDPCode
+from .msr import MSRCode
+from .product import ProductCode
+from .rs import ReedSolomonCode
+
+__all__ = [
+    "CodeError",
+    "ParameterError",
+    "UnrecoverableError",
+    "RepairResult",
+    "ErasureCode",
+    "LinearVectorCode",
+    "ReedSolomonCode",
+    "MSRCode",
+    "LocalReconstructionCode",
+    "EvenOddCode",
+    "RDPCode",
+    "HitchhikerCode",
+    "ProductCode",
+    "encode_batch",
+    "decode_batch",
+    "repair_batch",
+]

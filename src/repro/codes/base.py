@@ -1,0 +1,343 @@
+"""Common abstractions for the erasure codes in this repository.
+
+Every code here — RS, LRC, EVENODD, RDP, Hitchhiker, Product, MSR — is a
+*linear* code over GF(2^w),
+so the shared machinery is a systematic generator matrix acting on
+"blocks": a node's contribution to one stripe is a block of ``L`` bytes,
+and vector codes (sub-packetization ``l`` > 1) view that block as ``l``
+sub-blocks of ``L / l`` bytes.
+
+The flattened symbol layout used throughout is ``symbol = node * l + plane``
+so the generator of a vector code has shape ``(n*l, k*l)``.
+
+:class:`LinearVectorCode` provides generic encode (one vectorized
+scale-and-XOR per generator coefficient) and generic erasure decode
+(select ``k*l`` independent generator rows among the surviving symbols,
+invert once per erasure pattern, cache).  Subclasses override
+:meth:`repair` when they have a cheaper single-failure path (LRC locality,
+MSR regeneration).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..gf import GF, apply_to_blocks, inverse
+from ..gf.matrix import independent_rows
+
+__all__ = [
+    "CodeError",
+    "ParameterError",
+    "UnrecoverableError",
+    "RepairResult",
+    "ErasureCode",
+    "LinearVectorCode",
+]
+
+
+class CodeError(Exception):
+    """Base class for erasure-coding errors."""
+
+
+class ParameterError(CodeError):
+    """Invalid code parameters."""
+
+
+class UnrecoverableError(CodeError):
+    """The requested erasure pattern cannot be decoded by this code."""
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of a single-node repair.
+
+    Attributes
+    ----------
+    block:
+        The reconstructed block of the failed node, shape ``(L,)``.
+    bytes_read:
+        Bytes read from each helper node (the network/disk traffic the
+        repair incurred), keyed by node index.
+    """
+
+    block: np.ndarray
+    bytes_read: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes_read(self) -> int:
+        """Total repair traffic in bytes across all helpers."""
+        return sum(self.bytes_read.values())
+
+
+class ErasureCode(abc.ABC):
+    """Abstract erasure code storing ``k`` data and ``r`` parity blocks.
+
+    Subclasses must set :attr:`n`, :attr:`k`, :attr:`r` and
+    :attr:`subpacketization` in ``__init__`` and implement the three
+    core operations.
+    """
+
+    #: total / data / parity node counts
+    n: int
+    k: int
+    r: int
+    #: number of sub-blocks each node's block divides into (1 for scalar codes)
+    subpacketization: int
+    #: field word size; symbols are elements of GF(2^w)
+    w: int = 8
+
+    @property
+    def symbol_dtype(self):
+        """NumPy dtype of one code symbol."""
+        return GF.get(self.w).dtype
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short human-readable identifier, e.g. ``RS(8,3)``."""
+        return f"{type(self).__name__}({self.k},{self.r})"
+
+    @property
+    def storage_overhead(self) -> float:
+        """Storage cost ρ = n / k (paper metric (1.a))."""
+        return self.n / self.k
+
+    @property
+    def data_nodes(self) -> range:
+        """Indices of the systematic (data) nodes."""
+        return range(self.k)
+
+    @property
+    def parity_nodes(self) -> range:
+        """Indices of all parity nodes."""
+        return range(self.k, self.n)
+
+    @property
+    @abc.abstractmethod
+    def fault_tolerance(self) -> int:
+        """Number of arbitrary node erasures the code guarantees to survive."""
+
+    # -- core operations -----------------------------------------------------
+    @abc.abstractmethod
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``k`` data blocks into the full ``n``-block codeword.
+
+        ``data`` has shape ``(k, L)`` with ``L`` a multiple of the
+        sub-packetization; the result is ``(n, L)`` with the first ``k``
+        rows equal to ``data`` (systematic layout).
+        """
+
+    @abc.abstractmethod
+    def decode(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover the full codeword ``(n, L)`` from surviving shards.
+
+        Raises :class:`UnrecoverableError` if the erasure pattern exceeds
+        what the code can repair.
+        """
+
+    @abc.abstractmethod
+    def repair(self, failed: int, shards: Mapping[int, np.ndarray]) -> RepairResult:
+        """Rebuild one failed node, reading as little as the code allows."""
+
+    # -- planning (used by the cluster simulator without real data) ---------
+    def repair_read_fractions(self, failed: int) -> dict[int, float]:
+        """Fraction of each helper's block a single-node repair must read.
+
+        Default: a generic MDS-style repair reading ``k`` whole blocks from
+        the ``k`` lowest-indexed survivors.
+        """
+        helpers = [i for i in range(self.n) if i != failed][: self.k]
+        return {i: 1.0 for i in helpers}
+
+    # -- validation helpers --------------------------------------------------
+    def _check_data(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ValueError(f"data must have shape (k={self.k}, L), got {data.shape}")
+        if data.shape[1] % self.subpacketization:
+            raise ValueError(
+                f"block length {data.shape[1]} not a multiple of "
+                f"sub-packetization {self.subpacketization}"
+            )
+        if data.dtype.itemsize > np.dtype(self.symbol_dtype).itemsize:
+            raise ValueError(
+                f"data dtype {data.dtype} is wider than GF(2^{self.w}) symbols"
+            )
+        return np.ascontiguousarray(data, dtype=self.symbol_dtype)
+
+    def _check_shards(self, shards: Mapping[int, np.ndarray]) -> dict[int, np.ndarray]:
+        if not shards:
+            raise UnrecoverableError("no shards supplied")
+        lengths = {np.asarray(b).shape for b in shards.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent shard shapes: {lengths}")
+        out = {}
+        for i, b in shards.items():
+            if not 0 <= i < self.n:
+                raise ValueError(f"shard index {i} out of range for n={self.n}")
+            arr = np.asarray(b)
+            if arr.dtype.itemsize > np.dtype(self.symbol_dtype).itemsize:
+                raise ValueError(
+                    f"shard dtype {arr.dtype} is wider than GF(2^{self.w}) symbols"
+                )
+            out[i] = np.ascontiguousarray(arr, dtype=self.symbol_dtype)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name} n={self.n} l={self.subpacketization}>"
+
+
+class LinearVectorCode(ErasureCode):
+    """An erasure code defined by a systematic generator matrix.
+
+    Parameters
+    ----------
+    n, k:
+        Node counts (``r = n - k``).
+    generator:
+        Systematic generator of shape ``(n*l, k*l)`` whose top ``k*l`` rows
+        are the identity.
+    subpacketization:
+        Sub-blocks per node block (``l``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        generator: np.ndarray,
+        subpacketization: int = 1,
+        w: int = 8,
+    ):
+        if n <= k or k <= 0:
+            raise ParameterError(f"need n > k > 0, got n={n}, k={k}")
+        self.w = w
+        l = subpacketization
+        generator = np.asarray(generator)
+        if generator.dtype.itemsize > np.dtype(self.symbol_dtype).itemsize:
+            raise ParameterError(
+                f"generator dtype {generator.dtype} too wide for GF(2^{w})"
+            )
+        generator = generator.astype(self.symbol_dtype, copy=False)
+        if generator.shape != (n * l, k * l):
+            raise ParameterError(
+                f"generator shape {generator.shape} != ({n * l}, {k * l})"
+            )
+        if not np.array_equal(generator[: k * l], np.eye(k * l, dtype=self.symbol_dtype)):
+            raise ParameterError("generator is not systematic (top block must be identity)")
+        self.n = n
+        self.k = k
+        self.r = n - k
+        self.subpacketization = l
+        self.generator = generator
+        self._decode_cache: dict[frozenset[int], tuple[np.ndarray, list[int]]] = {}
+
+    # -- layout helpers ------------------------------------------------------
+    def _to_symbols(self, blocks: np.ndarray) -> np.ndarray:
+        """(nodes, L) -> (nodes*l, L/l): split each block into its planes."""
+        nodes, L = blocks.shape
+        l = self.subpacketization
+        return blocks.reshape(nodes * l, L // l)
+
+    def _to_blocks(self, symbols: np.ndarray, nodes: int) -> np.ndarray:
+        """Inverse of :meth:`_to_symbols`."""
+        total, sub = symbols.shape
+        return symbols.reshape(nodes, (total // nodes) * sub)
+
+    def node_symbols(self, node: int) -> range:
+        """Flattened symbol indices belonging to ``node``."""
+        l = self.subpacketization
+        return range(node * l, (node + 1) * l)
+
+    # -- encode ----------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        data = self._check_data(data)
+        l = self.subpacketization
+        syms = self._to_symbols(data)
+        parity_rows = self.generator[self.k * l :]
+        parity_syms = apply_to_blocks(parity_rows, syms, w=self.w)
+        out = np.concatenate([syms, parity_syms], axis=0)
+        return self._to_blocks(out, self.n)
+
+    # -- decode ----------------------------------------------------------------
+    def _decode_plan(self, avail: frozenset[int]) -> tuple[np.ndarray, list[int]]:
+        """Return (solve_matrix, symbol_rows) for an erasure pattern.
+
+        ``solve_matrix`` (k*l × k*l) applied to the listed surviving symbol
+        rows yields the data symbols.  Cached per availability pattern.
+        """
+        plan = self._decode_cache.get(avail)
+        if plan is not None:
+            return plan
+        l = self.subpacketization
+        kl = self.k * l
+        rows = [s for node in sorted(avail) for s in self.node_symbols(node)]
+        sub = self.generator[rows]
+        chosen = independent_rows(sub, w=self.w)
+        if len(chosen) < kl:
+            raise UnrecoverableError(
+                f"{self.name}: erasure pattern with survivors {sorted(avail)} "
+                f"is undecodable (rank {len(chosen)} < {kl})"
+            )
+        chosen = chosen[:kl]
+        solve_matrix = inverse(sub[chosen], w=self.w)
+        plan = (solve_matrix, [rows[c] for c in chosen])
+        self._decode_cache[avail] = plan
+        return plan
+
+    def is_decodable(self, available_nodes: Sequence[int]) -> bool:
+        """True iff the data can be recovered from the given surviving nodes."""
+        try:
+            self._decode_plan(frozenset(available_nodes))
+            return True
+        except UnrecoverableError:
+            return False
+
+    def decode_data(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover only the ``k`` data blocks — skips re-deriving parities.
+
+        This is the cheap path for degraded reads: one matrix application
+        instead of decode + full re-encode.
+        """
+        shards = self._check_shards(shards)
+        avail = frozenset(shards)
+        some = next(iter(shards.values()))
+        L = some.shape[0]
+        if L % self.subpacketization:
+            raise ValueError(
+                f"block length {L} not a multiple of l={self.subpacketization}"
+            )
+        solve_matrix, symbol_rows = self._decode_plan(avail)
+        l = self.subpacketization
+        stacked = np.stack([shards[i] for i in sorted(avail)])
+        syms = self._to_symbols(stacked)
+        # map global symbol row -> position within the stacked survivor symbols
+        order = {node: pos for pos, node in enumerate(sorted(avail))}
+        local_rows = [order[row // l] * l + (row % l) for row in symbol_rows]
+        data_syms = apply_to_blocks(solve_matrix, syms[local_rows], w=self.w)
+        return self._to_blocks(data_syms, self.k)
+
+    def decode(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
+        return self.encode(self.decode_data(shards))
+
+    # -- repair ------------------------------------------------------------------
+    def repair(self, failed: int, shards: Mapping[int, np.ndarray]) -> RepairResult:
+        """Generic repair: full decode from ``k``-equivalent survivors.
+
+        Reads whole blocks from every shard it consumes; subclasses with
+        bandwidth-efficient repair override this.
+        """
+        shards = self._check_shards(shards)
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        full = self.decode(shards)
+        wanted = self.repair_read_fractions(failed)
+        used = {i: shards[i] for i in wanted if i in shards}
+        if len(used) < len(wanted):
+            used = shards  # fell back to whatever was available
+        bytes_read = {i: b.shape[0] for i, b in used.items()}
+        return RepairResult(block=full[failed], bytes_read=bytes_read)

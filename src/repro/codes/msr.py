@@ -1,0 +1,330 @@
+"""Minimum-Storage-Regenerating code MSR(n, k, r, l) over GF(2^8).
+
+This is a coupled-layer ("Clay" / Ye–Barg) construction, the same family
+the EC-Fusion paper builds on (its refs [16] Clay codes and [20] Ye–Barg).
+
+Geometry
+--------
+With ``s = r = n - k`` and ``m = n / s`` the ``n`` nodes form an s×m grid:
+node ``i`` has coordinates ``(x, y) = (i % s, i // s)``.  Sub-packetization
+is ``l = s**m``; each node block splits into ``l`` planes, indexed by
+``z`` whose base-``s`` digits are ``(z_0, …, z_{m-1})``.
+
+Two symbol spaces are related by an invertible *pairwise coupling*:
+
+* **uncoupled** symbols ``U[i, z]`` — for every fixed plane ``z`` the
+  ``n`` symbols ``U[·, z]`` form a codeword of a scalar MDS (n, k) code
+  with parity-check ``H_s``;
+* **coupled** symbols ``C[i, z]`` — what nodes actually store.  When
+  ``x == z_y`` the symbol is uncoupled (``C = U``); otherwise the pair
+  ``{(x, y, z), (z_y, y, z[y→x])}`` mixes through ``[[1, γ], [γ, 1]]``
+  (ordering the pair by the ``x`` coordinate), ``γ² ≠ 1``.
+
+Properties (verified at construction / in the test suite)
+---------------------------------------------------------
+* MDS: any ``k`` of ``n`` blocks recover the stripe.
+* Optimal repair: one failed node is rebuilt by reading only the ``l/s``
+  planes ``{z : z_{y0} = x0}`` from *each* of the ``n−1`` survivors —
+  ``(n−1)/r`` block-equivalents of traffic versus ``k`` for RS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+import numpy as np
+
+from ..gf import GF, apply_to_blocks, cauchy, inverse, is_invertible, solve
+from .base import LinearVectorCode, ParameterError, RepairResult, UnrecoverableError
+
+__all__ = ["MSRCode"]
+
+
+class MSRCode(LinearVectorCode):
+    """Coupled-layer MSR code with optimal single-node repair bandwidth.
+
+    Parameters
+    ----------
+    n, k:
+        Total and data node counts; ``r = n - k`` must divide ``n``.
+    gamma:
+        Coupling coefficient; ``None`` searches from 2 upward until the
+        verification policy passes.
+    verify:
+        MDS verification at construction: ``"full"`` checks every
+        ``r``-erasure pattern, ``"sample"`` checks a random sample,
+        ``"off"`` trusts the construction, ``"auto"`` (default) picks
+        ``"full"`` for small codes and ``"sample"`` otherwise.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> msr = MSRCode(n=4, k=2)          # s=2, m=2, l=4
+    >>> msr.subpacketization
+    4
+    >>> data = np.arange(2 * 8, dtype=np.uint8).reshape(2, 8)
+    >>> coded = msr.encode(data)
+    >>> res = msr.repair(0, {i: coded[i] for i in range(1, 4)})
+    >>> bool(np.array_equal(res.block, coded[0]))
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        gamma: int | None = None,
+        w: int = 8,
+        verify: str = "auto",
+        rng_seed: int = 0x5EED,
+    ):
+        r = n - k
+        if r <= 0 or k <= 0:
+            raise ParameterError(f"need n > k > 0, got n={n}, k={k}")
+        if n % r != 0:
+            raise ParameterError(f"coupled-layer MSR needs r | n, got n={n}, r={r}")
+        m = n // r
+        if m < 2:
+            raise ParameterError(f"need at least two node groups (n/r >= 2), got {m}")
+        if verify not in ("auto", "full", "sample", "off"):
+            raise ParameterError(f"unknown verify policy {verify!r}")
+        self._gf = GF.get(w)
+        self.s = r
+        self.m = m
+        l = r**m
+        self._w = w
+
+        h_scalar = np.concatenate([cauchy(r, k, w=w), np.eye(r, dtype=np.uint8)], axis=1)
+
+        candidates = [gamma] if gamma is not None else [g for g in range(2, self._gf.order)]
+        rng = np.random.default_rng(rng_seed)
+        last_err: Exception | None = None
+        for g in candidates:
+            if g in (0, 1):
+                raise ParameterError("gamma must satisfy gamma not in {0, 1}")
+            try:
+                generator = self._build_generator(n, k, r, m, l, g, h_scalar)
+            except np.linalg.LinAlgError as exc:
+                last_err = exc
+                continue
+            super().__init__(n=n, k=k, generator=generator, subpacketization=l, w=w)
+            self.gamma = g
+            self.h_scalar = h_scalar
+            self._prepare_repair_programs()
+            if self._verify_mds(verify, rng):
+                return
+            last_err = UnrecoverableError(f"gamma={g} fails the MDS check")
+        raise ParameterError(
+            f"no valid coupling coefficient found for MSR({n},{k}): {last_err}"
+        )
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def name(self) -> str:
+        return f"MSR({self.n},{self.k},{self.r},{self.subpacketization})"
+
+    @property
+    def fault_tolerance(self) -> int:
+        """MDS: tolerates any ``r`` erasures."""
+        return self.r
+
+    def _coords(self, node: int) -> tuple[int, int]:
+        """Node index -> (x, y) grid coordinates."""
+        return node % self.s, node // self.s
+
+    def _node(self, x: int, y: int) -> int:
+        return y * self.s + x
+
+    def _digit(self, z: int, y: int) -> int:
+        """Base-s digit ``z_y`` of plane index ``z``."""
+        return (z // self.s**y) % self.s
+
+    def _set_digit(self, z: int, y: int, v: int) -> int:
+        """Plane index with digit ``y`` replaced by ``v``."""
+        old = self._digit(z, y)
+        return z + (v - old) * self.s**y
+
+    def _partner(self, node: int, z: int) -> tuple[int, int] | None:
+        """Coupling partner (node', z') of symbol (node, z), or None if fixed."""
+        x, y = self._coords(node)
+        zy = self._digit(z, y)
+        if x == zy:
+            return None
+        return self._node(zy, y), self._set_digit(z, y, x)
+
+    # --------------------------------------------------------------- construction
+    def _coupling_coeffs(self, gamma: int) -> tuple[np.ndarray, np.ndarray]:
+        """The pair mixing matrix M = [[1, γ], [γ, 1]] and its inverse."""
+        gf = GF.get(self._w)
+        M = np.array([[1, gamma], [gamma, 1]], dtype=gf.dtype)
+        return M, inverse(M, w=self._w)
+
+    def _build_generator(
+        self,
+        n: int,
+        k: int,
+        r: int,
+        m: int,
+        l: int,
+        gamma: int,
+        h_scalar: np.ndarray,
+    ) -> np.ndarray:
+        """Assemble the systematic (n·l × k·l) generator for coupling γ."""
+        gf = GF.get(self._w)
+        self.s = r  # needed by helpers before super().__init__
+        self.m = m
+        _, Minv = self._coupling_coeffs(gamma)
+
+        # Constraint matrix A (r·l × n·l) on *coupled* symbols:
+        # row (t, z):  sum_i H_s[t, i] · U[i, z] = 0, with U expressed in C.
+        nl, rl = n * l, r * l
+        A = np.zeros((rl, nl), dtype=gf.dtype)
+        row_base = np.arange(r) * l
+        for i in range(n):
+            hcol = h_scalar[:, i]
+            x, _y = i % r, i // r
+            for z in range(l):
+                rows = row_base + z
+                part = self._partner_static(i, z, r, m)
+                if part is None:
+                    A[rows, i * l + z] = gf.add(A[rows, i * l + z], hcol)
+                else:
+                    j, z2 = part
+                    xj = j % r
+                    if x < xj:  # this symbol is the pair's "a" element
+                        ca, cb = Minv[0, 0], Minv[0, 1]
+                    else:
+                        ca, cb = Minv[1, 1], Minv[1, 0]
+                    A[rows, i * l + z] = gf.add(A[rows, i * l + z], gf.mul(hcol, int(ca)))
+                    A[rows, j * l + z2] = gf.add(A[rows, j * l + z2], gf.mul(hcol, int(cb)))
+
+        kl = k * l
+        A_data, A_parity = A[:, :kl], A[:, kl:]
+        enc = solve(A_parity, A_data, w=self._w)  # raises LinAlgError if singular
+        self._constraints = A
+        return np.concatenate([np.eye(kl, dtype=np.uint8), enc], axis=0)
+
+    def _partner_static(self, node: int, z: int, s: int, m: int) -> tuple[int, int] | None:
+        """Partner lookup usable before ``self`` is fully initialised."""
+        x, y = node % s, node // s
+        zy = (z // s**y) % s
+        if x == zy:
+            return None
+        j = y * s + zy
+        z2 = z + (x - zy) * s**y
+        return j, z2
+
+    def _verify_mds(self, verify: str, rng: np.random.Generator) -> bool:
+        """Check decodability of r-erasure patterns per the chosen policy."""
+        if verify == "off":
+            return True
+        patterns = list(itertools.combinations(range(self.n), self.r))
+        if verify == "auto":
+            verify = "full" if len(patterns) <= 60 else "sample"
+        if verify == "sample" and len(patterns) > 40:
+            idx = rng.choice(len(patterns), size=40, replace=False)
+            patterns = [patterns[i] for i in idx]
+        l = self.subpacketization
+        for erased in patterns:
+            cols = [i * l + z for i in erased for z in range(l)]
+            if not is_invertible(self._constraints[:, cols], w=self._w):
+                return False
+        return True
+
+    # --------------------------------------------------------------------- repair
+    def _prepare_repair_programs(self) -> None:
+        """Precompute, per failed node, the r×r solve matrix over unknown U's."""
+        self._repair_solvers: dict[int, tuple[list[int], list[int], np.ndarray]] = {}
+        for f in range(self.n):
+            x0, y0 = self._coords(f)
+            same_col = [self._node(x, y0) for x in range(self.s) if x != x0]
+            unknown_nodes = [f] + same_col
+            known_nodes = [i for i in range(self.n) if i not in unknown_nodes]
+            hu = self.h_scalar[:, unknown_nodes]
+            self._repair_solvers[f] = (unknown_nodes, known_nodes, inverse(hu, w=self._w))
+
+    def repair_planes(self, failed: int) -> list[int]:
+        """The ``l/s`` plane indices every helper must read to repair ``failed``."""
+        x0, y0 = self._coords(failed)
+        return [z for z in range(self.subpacketization) if self._digit(z, y0) == x0]
+
+    def repair_read_fractions(self, failed: int) -> dict[int, float]:
+        """Optimal repair reads 1/s of every one of the n−1 survivors."""
+        return {i: 1.0 / self.s for i in range(self.n) if i != failed}
+
+    def repair(self, failed: int, shards: Mapping[int, np.ndarray]) -> RepairResult:
+        """Bandwidth-optimal single-node repair.
+
+        Requires all ``n − 1`` helpers; with fewer survivors it falls back
+        to a full MDS decode (reading ``k`` whole blocks).
+        """
+        shards = self._check_shards(shards)
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        helpers = set(range(self.n)) - {failed}
+        if not helpers <= set(shards):
+            return super().repair(failed, shards)
+
+        gf = GF.get(self._w)
+        l = self.subpacketization
+        L = next(iter(shards.values())).shape[0]
+        if L % l:
+            raise ValueError(f"block length {L} not a multiple of l={l}")
+        sub = L // l
+        x0, y0 = self._coords(failed)
+        planes = self.repair_planes(failed)
+        unknown_nodes, known_nodes, hu_inv = self._repair_solvers[failed]
+        _, Minv = self._coupling_coeffs(self.gamma)
+        inv_gamma = int(gf.inv(self.gamma))
+
+        view = {i: shards[i].reshape(l, sub) for i in helpers}
+
+        def read(i: int, z: int) -> np.ndarray:
+            """Coupled symbol (i, z); asserts it lies in the repair read-set."""
+            assert self._digit(z, y0) == x0, "read outside the repair plane set"
+            return view[i][z]
+
+        def uncoupled(i: int, z: int) -> np.ndarray:
+            """U[i, z] for a cross-column helper, from read symbols only."""
+            part = self._partner(i, z)
+            if part is None:
+                return read(i, z)
+            j, z2 = part
+            x, _ = self._coords(i)
+            xj, _ = self._coords(j)
+            if x < xj:
+                row = Minv[0]
+                a, b = read(i, z), read(j, z2)
+            else:
+                row = Minv[1]
+                a, b = read(j, z2), read(i, z)
+            out = gf.mul(int(row[0]), a)
+            gf.scale_xor_into(out, int(row[1]), b)
+            return out
+
+        failed_block = np.empty((l, sub), dtype=np.uint8)
+        for z in planes:
+            known_u = np.stack([uncoupled(i, z) for i in known_nodes])
+            rhs = apply_to_blocks(self.h_scalar[:, known_nodes], known_u, w=self._w)
+            solved = apply_to_blocks(hu_inv, rhs, w=self._w)
+            failed_block[z] = solved[0]  # U == C on repair planes for the failed node
+            # Recover the failed node's other planes through the coupling pairs
+            # with the same-column helpers.
+            for pos, helper in enumerate(unknown_nodes[1:], start=1):
+                x, _ = self._coords(helper)
+                z_dst = self._set_digit(z, y0, x)  # failed-node plane being rebuilt
+                u_h = solved[pos]
+                c_h = read(helper, z)
+                if x < x0:
+                    # helper is "a": c_a = u_a + γ u_b  =>  u_b, then c_b
+                    u_f = gf.mul(inv_gamma, gf.add(c_h, u_h))
+                    c_f = gf.add(gf.mul(self.gamma, u_h), u_f)
+                else:
+                    # helper is "b": c_b = γ u_a + u_b  =>  u_a, then c_a
+                    u_f = gf.mul(inv_gamma, gf.add(c_h, u_h))
+                    c_f = gf.add(u_f, gf.mul(self.gamma, u_h))
+                failed_block[z_dst] = c_f
+
+        bytes_read = {i: len(planes) * sub for i in helpers}
+        return RepairResult(block=failed_block.reshape(L), bytes_read=bytes_read)

@@ -1,0 +1,123 @@
+"""Product (GRID-style) codes — paper ref. [32], the IH-EC family.
+
+A product code arranges ``k1 × k2`` data blocks in a grid and applies one
+systematic code along rows and another along columns (including the
+column code over the row parities, the "checks on checks").  The result
+tolerates *all* patterns of up to ``(r1+1)·(r2+1) − 1`` erasures — far
+beyond either constituent code — at the price of storage
+ρ = (n1·n2)/(k1·k2).
+
+GRID codes (Li et al., ToS'09) instantiate exactly this with array-code
+strips; here both dimensions are parameterised by the scalar Cauchy-RS
+codes the repo already has, and the generic
+:class:`~repro.codes.base.LinearVectorCode` machinery provides encode /
+decode / repair — including recovery of patterns the per-row or
+per-column view alone cannot solve (the full linear system can).
+
+Node ordering: data cells of the k1×k2 subgrid first (row-major), then
+the remaining parity cells (row-major), so the generator is systematic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gf import GF, systematic_rs_parity
+from .base import LinearVectorCode, ParameterError
+
+__all__ = ["ProductCode"]
+
+
+class ProductCode(LinearVectorCode):
+    """Product of two systematic RS codes over a k1×k2 data grid.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> pc = ProductCode(k1=2, r1=1, k2=2, r2=1)   # 3x3 grid, 4 data cells
+    >>> pc.fault_tolerance
+    3
+    >>> data = np.arange(4 * 8, dtype=np.uint8).reshape(4, 8)
+    >>> coded = pc.encode(data)
+    >>> lost = {pc.node_at(0, 0), pc.node_at(1, 1), pc.node_at(2, 2)}
+    >>> shards = {i: coded[i] for i in range(9) if i not in lost}
+    >>> bool(np.array_equal(pc.decode(shards), coded))
+    True
+    """
+
+    def __init__(self, k1: int, r1: int, k2: int, r2: int, w: int = 8):
+        if min(k1, r1, k2, r2) <= 0:
+            raise ParameterError("all of k1, r1, k2, r2 must be positive")
+        n1, n2 = k1 + r1, k2 + r2
+        if n1 > (1 << w) or n2 > (1 << w):
+            raise ParameterError(f"grid dimensions exceed GF(2^{w})")
+        self.k1, self.r1, self.k2, self.r2 = k1, r1, k2, r2
+        self.n1, self.n2 = n1, n2
+
+        row_p = systematic_rs_parity(k2, r2, w=w)
+        col_p = systematic_rs_parity(k1, r1, w=w)
+        row_gen = np.concatenate([np.eye(k2, dtype=row_p.dtype), row_p], axis=0)
+        col_gen = np.concatenate([np.eye(k1, dtype=col_p.dtype), col_p], axis=0)
+
+        # cell (i, j) = Σ_{a,b} C[i,a]·R[j,b]·d[a,b]: the GF Kronecker
+        # product; columns are data cells (a, b) row-major.
+        gf = GF.get(w)
+        kron = gf.mul(col_gen[:, None, :, None], row_gen[None, :, None, :]).reshape(
+            n1 * n2, k1 * k2
+        )
+
+        # permute nodes: data subgrid first (row-major), then parity cells
+        grid_order = [
+            (i, j) for i in range(k1) for j in range(k2)
+        ] + [
+            (i, j)
+            for i in range(n1)
+            for j in range(n2)
+            if not (i < k1 and j < k2)
+        ]
+        self._grid_of_node = grid_order
+        self._node_of_grid = {pos: idx for idx, pos in enumerate(grid_order)}
+        rows = [i * n2 + j for i, j in grid_order]
+        generator = kron[rows]
+
+        super().__init__(
+            n=n1 * n2, k=k1 * k2, generator=generator, subpacketization=1, w=w
+        )
+
+    # ---------------------------------------------------------------- identity
+    @property
+    def name(self) -> str:
+        return f"Product(RS({self.k1},{self.r1})xRS({self.k2},{self.r2}))"
+
+    @property
+    def fault_tolerance(self) -> int:
+        """(r1+1)(r2+1) − 1 arbitrary erasures — the product-code bound."""
+        return (self.r1 + 1) * (self.r2 + 1) - 1
+
+    # ----------------------------------------------------------------- layout
+    def node_at(self, i: int, j: int) -> int:
+        """Grid coordinates -> node index."""
+        if not (0 <= i < self.n1 and 0 <= j < self.n2):
+            raise ValueError(f"cell ({i}, {j}) outside the {self.n1}x{self.n2} grid")
+        return self._node_of_grid[(i, j)]
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Node index -> grid coordinates."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} out of range")
+        return self._grid_of_node[node]
+
+    def is_data_cell(self, node: int) -> bool:
+        """True iff the node holds systematic data."""
+        i, j = self.coords(node)
+        return i < self.k1 and j < self.k2
+
+    # ----------------------------------------------------------------- repair
+    def repair_read_fractions(self, failed: int) -> dict[int, float]:
+        """Single failure: repair along the cheaper of its row or column."""
+        i, j = self.coords(failed)
+        if self.k2 <= self.k1:  # row decode reads k2 cells
+            helpers = [self.node_at(i, jj) for jj in range(self.n2) if jj != j]
+            return {h: 1.0 for h in helpers[: self.k2]}
+        helpers = [self.node_at(ii, j) for ii in range(self.n1) if ii != i]
+        return {h: 1.0 for h in helpers[: self.k1]}

@@ -1,0 +1,46 @@
+"""Experiment modules — one per figure/table of the paper's evaluation.
+
+* Figs. 13–15: analytic (the "mathematical analysis" of §IV-B);
+* Figs. 16–19 + Table VII: projections of one shared simulation campaign
+  (:mod:`repro.experiments.simulation`).
+"""
+
+from . import (
+    eta_landscape,
+    lifetime,
+    robustness,
+    sensitivity,
+    fig13_storage,
+    fig14_computation,
+    fig15_transmission,
+    fig16_application,
+    fig17_recovery,
+    fig18_overall,
+    fig19_cost_effective,
+    table4_allocation,
+    table7_summary,
+)
+from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes, format_table
+from .simulation import CampaignResults, run_campaign
+
+__all__ = [
+    "ExperimentConfig",
+    "build_schemes",
+    "format_table",
+    "SCHEME_ORDER",
+    "CampaignResults",
+    "run_campaign",
+    "eta_landscape",
+    "lifetime",
+    "robustness",
+    "sensitivity",
+    "fig13_storage",
+    "fig14_computation",
+    "fig15_transmission",
+    "fig16_application",
+    "fig17_recovery",
+    "fig18_overall",
+    "fig19_cost_effective",
+    "table4_allocation",
+    "table7_summary",
+]

@@ -1,0 +1,97 @@
+"""Sensitivity extension — the η threshold across platform regimes.
+
+The paper fixes one testbed (Table VI); this experiment maps how the
+switching threshold η of eq. (1) moves with the two constants it actually
+depends on.  A small calculation shows γ cancels (both W and R scale with
+γ once the constant matrix-setup terms are negligible), so the landscape
+axes are GF throughput α and network bandwidth λ:
+
+* slow CPUs: MSR's per-byte encode/decode surcharge erases its recovery
+  edge entirely (η → ∞, "RS-always");
+* fast CPUs: η climbs toward the bandwidth-only limit
+  (k − (2r−1)/r) / (2 − (k+r)/k) — on faster networks it gets there
+  sooner, because transmission stops hiding the compute gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fusion.costmodel import ALWAYS_MSR, ALWAYS_RS, CostModel, SystemProfile
+from .runner import format_table
+
+__all__ = ["EtaLandscape", "bandwidth_limit_eta", "compute", "render"]
+
+DEFAULT_LAMBDAS = (125e6 / 10, 125e6, 10 * 125e6, 100 * 125e6)  # 0.1 .. 100 Gbps
+DEFAULT_ALPHAS = (1e8, 1e9, 5e9, 5e10)
+
+
+def bandwidth_limit_eta(k: int, r: int) -> float:
+    """η in the α → ∞ limit: pure transmission trade-off."""
+    num = k - (2 * r - 1) / r
+    den = 2 - (k + r) / k
+    return num / den
+
+
+@dataclass
+class EtaLandscape:
+    """η over a (λ, α) grid for one (k, r)."""
+
+    k: int
+    r: int
+    lambdas: tuple[float, ...]
+    alphas: tuple[float, ...]
+    grid: dict[tuple[float, float], float]  # (lam, alpha) -> eta
+
+    def eta(self, lam: float, alpha: float) -> float:
+        return self.grid[(lam, alpha)]
+
+    def limit(self) -> float:
+        return bandwidth_limit_eta(self.k, self.r)
+
+
+def compute(
+    k: int = 8,
+    r: int = 3,
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+) -> EtaLandscape:
+    """η at each (λ, α) grid point."""
+    grid = {}
+    for lam in lambdas:
+        for alpha in alphas:
+            cm = CostModel(k, r, SystemProfile(lam=lam, alpha=alpha))
+            grid[(lam, alpha)] = cm.eta
+    return EtaLandscape(k=k, r=r, lambdas=tuple(lambdas), alphas=tuple(alphas), grid=grid)
+
+
+def _fmt_eta(value: float) -> str:
+    if value == ALWAYS_RS:
+        return "RS-always"
+    if value == ALWAYS_MSR:
+        return "MSR-always"
+    return f"{value:.3f}"
+
+
+def _fmt_bw(value: float) -> str:
+    gbps = value * 8 / 1e9
+    return f"{gbps:g}Gbps"
+
+
+def render(landscape: EtaLandscape) -> str:
+    headers = ["lambda / alpha"] + [f"{a:.0e}" for a in landscape.alphas]
+    rows = []
+    for lam in landscape.lambdas:
+        rows.append(
+            [_fmt_bw(lam)]
+            + [_fmt_eta(landscape.eta(lam, alpha)) for alpha in landscape.alphas]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title=f"η landscape — EC-Fusion({landscape.k},{landscape.r}) switching threshold",
+    )
+    return table + (
+        f"\nbandwidth-only limit (alpha→inf): {landscape.limit():.3f} — "
+        "η approaches it from below as compute gets cheap"
+    )

@@ -1,0 +1,60 @@
+"""Fig. 16 — application performance (mean request latency) per trace.
+
+Shape checks against the paper:
+* EC-Fusion adds only small overhead to plain RS (paper: ≤ 1.04 %);
+* EC-Fusion improves on MSR by a large margin, biggest on write-intensive
+  traces (paper: up to 78.03 % on rsrch0);
+* LRC/HACFS sit above RS/EC-Fusion (paper: ~10 % improvement for
+  EC-Fusion over them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import improvement
+from .runner import SCHEME_ORDER, ExperimentConfig, format_table
+from .simulation import CampaignResults, run_campaign
+
+__all__ = ["ApplicationFigure", "compute", "render"]
+
+
+@dataclass
+class ApplicationFigure:
+    """ε₁ per (scheme, trace)."""
+
+    campaign: CampaignResults
+
+    def epsilon1(self, scheme: str, trace: str) -> float:
+        return self.campaign.get(scheme, trace).epsilon1
+
+    def fusion_overhead_vs_rs(self, trace: str) -> float:
+        """EC-Fusion's app-latency overhead relative to RS (paper ≤ 1.04 %)."""
+        return -improvement(self.epsilon1("RS", trace), self.epsilon1("EC-Fusion", trace))
+
+    def fusion_improvement_vs(self, other: str, trace: str) -> float:
+        return improvement(self.epsilon1(other, trace), self.epsilon1("EC-Fusion", trace))
+
+
+def compute(config: ExperimentConfig | None = None) -> ApplicationFigure:
+    return ApplicationFigure(campaign=run_campaign(config or ExperimentConfig()))
+
+
+def render(fig: ApplicationFigure) -> str:
+    traces = fig.campaign.traces()
+    rows = [
+        [scheme] + [round(fig.epsilon1(scheme, t), 4) for t in traces]
+        for scheme in SCHEME_ORDER
+    ]
+    table = format_table(
+        ["scheme"] + [f"MSR-{t}" for t in traces],
+        rows,
+        title="Fig. 16 — application performance eps1 (s), lower is better",
+    )
+    best_msr = max(fig.fusion_improvement_vs("MSR", t) for t in traces)
+    worst_rs = max(fig.fusion_overhead_vs_rs(t) for t in traces)
+    summary = (
+        f"EC-Fusion vs MSR: up to {best_msr * 100:.2f}% faster (paper: up to 78.03%); "
+        f"overhead vs RS: max {worst_rs * 100:.2f}% (paper: <= 1.04%)"
+    )
+    return table + "\n" + summary

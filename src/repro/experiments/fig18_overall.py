@@ -1,0 +1,59 @@
+"""Fig. 18 — overall performance ε = (μ₁ε₁ + μ₂ε₂)/(μ₁ + μ₂).
+
+Shape checks: EC-Fusion beats MSR and LRC everywhere (paper: up to
+77.98 % / 10.81 %), improves on RS most in the read-dominant trace
+(paper: 18.15 % on mds1), and its conversion overhead stays a small
+fraction of the total (paper: ≤ 1.47 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import improvement
+from .runner import SCHEME_ORDER, ExperimentConfig, format_table
+from .simulation import CampaignResults, run_campaign
+
+__all__ = ["OverallFigure", "compute", "render"]
+
+
+@dataclass
+class OverallFigure:
+    """ε per (scheme, trace) plus EC-Fusion's conversion share."""
+
+    campaign: CampaignResults
+
+    def overall(self, scheme: str, trace: str) -> float:
+        return self.campaign.get(scheme, trace).overall
+
+    def fusion_improvement_vs(self, other: str, trace: str) -> float:
+        return improvement(self.overall(other, trace), self.overall("EC-Fusion", trace))
+
+    def conversion_fraction(self, trace: str) -> float:
+        return self.campaign.get("EC-Fusion", trace).conversion_fraction
+
+
+def compute(config: ExperimentConfig | None = None) -> OverallFigure:
+    return OverallFigure(campaign=run_campaign(config or ExperimentConfig()))
+
+
+def render(fig: OverallFigure) -> str:
+    traces = fig.campaign.traces()
+    rows = [
+        [scheme] + [round(fig.overall(scheme, t), 4) for t in traces]
+        for scheme in SCHEME_ORDER
+    ]
+    table = format_table(
+        ["scheme"] + [f"MSR-{t}" for t in traces],
+        rows,
+        title="Fig. 18 — overall performance eps (s), lower is better",
+    )
+    vs_msr = max(fig.fusion_improvement_vs("MSR", t) for t in traces)
+    vs_rs = fig.fusion_improvement_vs("RS", "mds1")
+    conv = max(fig.conversion_fraction(t) for t in traces)
+    summary = (
+        f"EC-Fusion vs MSR: up to {vs_msr * 100:.2f}% (paper 77.98%); "
+        f"vs RS on read-dominant mds1: {vs_rs * 100:.2f}% (paper 18.15%); "
+        f"conversion overhead share: max {conv * 100:.2f}% (paper <= 1.47%)"
+    )
+    return table + "\n" + summary

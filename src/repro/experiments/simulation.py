@@ -1,0 +1,75 @@
+"""The shared simulation campaign behind Figs. 16–19 and Table VII.
+
+One campaign = every scheme × every Table V trace, replayed closed-loop
+with an interleaved failure stream.  Figures 16–19 are different
+projections of the same result set, so the campaign is run once and
+memoised per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import SimulationResult, run_workload
+from ..workloads import TRACE_NAMES, failures_for_trace, make_trace
+from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes
+
+__all__ = ["CampaignResults", "run_campaign"]
+
+_CACHE: dict[tuple, "CampaignResults"] = {}
+
+
+@dataclass
+class CampaignResults:
+    """All (scheme × trace) simulation results for one configuration."""
+
+    config: ExperimentConfig
+    results: dict[tuple[str, str], SimulationResult]  # (scheme, trace) -> result
+
+    def get(self, scheme: str, trace: str) -> SimulationResult:
+        return self.results[(scheme, trace)]
+
+    def schemes(self) -> tuple[str, ...]:
+        return SCHEME_ORDER
+
+    def traces(self) -> list[str]:
+        return TRACE_NAMES
+
+
+def run_campaign(
+    config: ExperimentConfig,
+    traces: list[str] | None = None,
+    use_cache: bool = True,
+) -> CampaignResults:
+    """Run (or fetch the memoised) full scheme×trace simulation campaign."""
+    traces = traces or TRACE_NAMES
+    key = (config, tuple(traces))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for trace_name in traces:
+        trace = make_trace(
+            trace_name,
+            num_requests=config.num_requests,
+            num_stripes=config.num_stripes,
+            blocks_per_stripe=config.k,
+            write_once=True,  # §IV-A.5: each write request is a new HDFS file
+        )
+        failures = failures_for_trace(
+            trace,
+            blocks_per_stripe=config.k,
+            rate=config.failure_rate,
+            seed=config.seed,
+            num_stripes=config.num_stripes,
+            spatial_decay=config.spatial_decay,
+        )
+        schemes = build_schemes(config)  # fresh adaptive state per trace
+        for scheme_name in SCHEME_ORDER:
+            results[(scheme_name, trace_name)] = run_workload(
+                schemes[scheme_name], trace, failures, config.cluster
+            )
+    campaign = CampaignResults(config=config, results=results)
+    if use_cache:
+        _CACHE[key] = campaign
+    return campaign

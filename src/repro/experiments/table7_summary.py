@@ -1,0 +1,73 @@
+"""Table VII — EC-Fusion's improvement over every baseline, k ∈ {6, 8}.
+
+For each (baseline, k, trace): the percentage improvement of EC-Fusion in
+overall performance and in cost-effective ratio.  The paper's Table VII is
+uniformly non-negative (EC-Fusion never loses); the reproduction checks
+the same dominance pattern for overall performance and the broad ordering
+for ζ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..metrics import improvement
+from .runner import ExperimentConfig, format_table
+from .simulation import run_campaign
+
+__all__ = ["Table7", "compute", "render"]
+
+BASELINES = ("RS", "MSR", "LRC", "HACFS")
+
+
+@dataclass
+class Table7:
+    """improvements[(baseline, k, trace)] = (overall_gain, zeta_gain)."""
+
+    ks: tuple[int, ...]
+    traces: list[str]
+    improvements: dict[tuple[str, int, str], tuple[float, float]]
+
+    def overall_gain(self, baseline: str, k: int, trace: str) -> float:
+        return self.improvements[(baseline, k, trace)][0]
+
+    def zeta_gain(self, baseline: str, k: int, trace: str) -> float:
+        return self.improvements[(baseline, k, trace)][1]
+
+
+def compute(config: ExperimentConfig | None = None, ks: tuple[int, ...] = (8, 6)) -> Table7:
+    config = config or ExperimentConfig()
+    improvements: dict[tuple[str, int, str], tuple[float, float]] = {}
+    traces: list[str] = []
+    for k in ks:
+        campaign = run_campaign(replace(config, k=k))
+        traces = campaign.traces()
+        for trace in traces:
+            fusion = campaign.get("EC-Fusion", trace)
+            for baseline in BASELINES:
+                base = campaign.get(baseline, trace)
+                overall_gain = improvement(base.overall, fusion.overall)
+                zeta_gain = fusion.cost_effective / base.cost_effective - 1
+                improvements[(baseline, k, trace)] = (overall_gain, zeta_gain)
+    return Table7(ks=ks, traces=traces, improvements=improvements)
+
+
+def render(table: Table7) -> str:
+    headers = (
+        ["code", "k"]
+        + [f"overall {t}" for t in table.traces]
+        + [f"zeta {t}" for t in table.traces]
+    )
+    rows = []
+    for baseline in BASELINES:
+        for k in table.ks:
+            rows.append(
+                [baseline, k]
+                + [f"{table.overall_gain(baseline, k, t) * 100:.2f}%" for t in table.traces]
+                + [f"{table.zeta_gain(baseline, k, t) * 100:.2f}%" for t in table.traces]
+            )
+    return format_table(
+        headers,
+        rows,
+        title="Table VII — EC-Fusion improvement over baselines (positive = EC-Fusion wins)",
+    )

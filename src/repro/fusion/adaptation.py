@@ -1,0 +1,199 @@
+"""Workload adaptation — Algorithm 1 of the paper (§III-C).
+
+Two tracking queues capture locality: Queue1 logs application accesses,
+Queue2 logs recovery requests.  Three triggers drive per-stripe code
+changes, each gated by the threshold η (with optional hysteresis Δ from
+eq. (2)) on the per-stripe ratio δ = writes/recoveries:
+
+1. a recovery request enters Queue2 and δ < η − Δ → convert the stripe to
+   MSR;
+2. a write request enters Queue1 and δ ≥ η + Δ → convert the stripe back
+   to RS;
+3. a recovery entry falls off Queue2's tail → the stripe has cooled, so an
+   MSR stripe converts back to RS.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable
+
+from .costmodel import CostModel
+from .queues import CachePolicy, TrackingQueue
+
+__all__ = ["CodeKind", "Conversion", "AdaptiveSelector"]
+
+
+class CodeKind(str, Enum):
+    """Which of the two fusion codes a stripe is currently stored in."""
+
+    RS = "rs"
+    MSR = "msr"
+
+
+@dataclass(frozen=True)
+class Conversion:
+    """A code-change command emitted by the selector."""
+
+    stripe: Hashable
+    target: CodeKind
+    trigger: str  # "recovery-insert" | "write-insert" | "queue2-evict"
+
+
+class AdaptiveSelector:
+    """Algorithm 1: decides when each stripe flips between RS and MSR.
+
+    The selector owns only *policy state* (queues, counters, flags); the
+    caller executes the returned :class:`Conversion` commands and bears
+    their cost.
+
+    Parameters
+    ----------
+    cost_model:
+        Supplies η; see :class:`repro.fusion.costmodel.CostModel`.
+    queue_capacity:
+        Capacity of each tracking queue.
+    policy:
+        Eviction policy for both queues.
+    margin:
+        Hysteresis Δ of eq. (2); 0 ≤ Δ < η.
+    idle_window:
+        Optional extension beyond the paper: expire Queue2 entries not
+        touched within the last ``idle_window`` selector events, converting
+        their stripes back to RS.  Plain Algorithm 1 (None) only evicts
+        under insertion pressure, so the MSR-resident set — and its storage
+        premium — survives arbitrarily long failure lulls.
+
+    Examples
+    --------
+    >>> from repro.fusion.costmodel import CostModel, SystemProfile
+    >>> sel = AdaptiveSelector(CostModel(4, 2, SystemProfile()), queue_capacity=4)
+    >>> sel.eta > 0
+    True
+    >>> sel.on_recovery("s1")        # cold stripe being repaired -> MSR
+    [Conversion(stripe='s1', target=<CodeKind.MSR: 'msr'>, trigger='recovery-insert')]
+    >>> sel.code_of("s1")
+    <CodeKind.MSR: 'msr'>
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        queue_capacity: int = 1024,
+        policy: CachePolicy = CachePolicy.LRU,
+        margin: float = 0.0,
+        default: CodeKind = CodeKind.RS,
+        idle_window: int | None = None,
+    ):
+        if margin < 0:
+            raise ValueError("hysteresis margin must be non-negative")
+        if idle_window is not None and idle_window <= 0:
+            raise ValueError("idle_window must be positive")
+        self.cost_model = cost_model
+        self.margin = margin
+        self.default = default
+        self.idle_window = idle_window
+        self._events = 0
+        self.queue1 = TrackingQueue(queue_capacity, policy)  # application accesses
+        self.queue2 = TrackingQueue(queue_capacity, policy)  # recovery requests
+        self._flags: dict[Hashable, CodeKind] = {}
+        self._writes: dict[Hashable, int] = defaultdict(int)
+        self._recoveries: dict[Hashable, int] = defaultdict(int)
+        self.conversions: list[Conversion] = []
+
+    # -- state queries ---------------------------------------------------
+    def code_of(self, stripe: Hashable) -> CodeKind:
+        """Current coding scheme of a stripe (RS by default)."""
+        return self._flags.get(stripe, self.default)
+
+    def delta(self, stripe: Hashable) -> float:
+        """δ = writes/recoveries for one stripe; ∞ when never recovered."""
+        rec = self._recoveries[stripe]
+        if rec == 0:
+            return float("inf")
+        return self._writes[stripe] / rec
+
+    @property
+    def eta(self) -> float:
+        return self.cost_model.eta
+
+    # -- Algorithm 1 triggers -----------------------------------------------
+    def _tick(self) -> list[Conversion]:
+        """Advance the event clock; expire idle Queue2 entries if enabled.
+
+        Queue2 entries are stamped with this selector-wide clock, so "idle"
+        means "no recovery touch within the last ``idle_window`` of *any*
+        application/recovery events" — a failure lull ages entries out even
+        though no new recoveries arrive to evict them.
+        """
+        self._events += 1
+        if self.idle_window is None:
+            return []
+        out: list[Conversion] = []
+        for entry in self.queue2.expire_idle(self._events - self.idle_window):
+            if self.code_of(entry.key) is CodeKind.MSR:
+                out.append(self._convert(entry.key, CodeKind.RS, "idle-expiry"))
+        return out
+
+    def on_write(self, stripe: Hashable) -> list[Conversion]:
+        """Application write: Queue1 insert; may convert the stripe to RS."""
+        out = self._tick()
+        self._writes[stripe] += 1
+        self.queue1.record(stripe)
+        if self.code_of(stripe) is not CodeKind.RS and self.cost_model.prefers_rs(
+            self.delta(stripe), self.margin
+        ):
+            out.append(self._convert(stripe, CodeKind.RS, "write-insert"))
+        return out
+
+    def on_read(self, stripe: Hashable) -> list[Conversion]:
+        """Application read: tracked for locality; only idle expiry converts."""
+        out = self._tick()
+        self.queue1.record(stripe)
+        return out
+
+    def on_recovery(self, stripe: Hashable) -> list[Conversion]:
+        """Recovery request: Queue2 insert; may convert to MSR, and Queue2
+        tail evictions convert cooled MSR stripes back to RS."""
+        out = self._tick()
+        self._recoveries[stripe] += 1
+        evicted = self.queue2.record(stripe, clock=self._events)
+        for entry in evicted:
+            if self.code_of(entry.key) is CodeKind.MSR:
+                out.append(self._convert(entry.key, CodeKind.RS, "queue2-evict"))
+        if self.code_of(stripe) is not CodeKind.MSR and self.cost_model.prefers_msr(
+            self.delta(stripe), self.margin
+        ):
+            out.append(self._convert(stripe, CodeKind.MSR, "recovery-insert"))
+        return out
+
+    def _convert(self, stripe: Hashable, target: CodeKind, trigger: str) -> Conversion:
+        self._flags[stripe] = target
+        conv = Conversion(stripe=stripe, target=target, trigger=trigger)
+        self.conversions.append(conv)
+        return conv
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def msr_fraction(self) -> float:
+        """Fraction of tracked stripes currently held in MSR."""
+        if not self._flags:
+            return 0.0
+        msr = sum(1 for v in self._flags.values() if v is CodeKind.MSR)
+        return msr / len(self._flags)
+
+    def stats(self) -> dict[str, float]:
+        """Counters for experiment reports."""
+        by_trigger: dict[str, int] = defaultdict(int)
+        for c in self.conversions:
+            by_trigger[c.trigger] += 1
+        return {
+            "eta": self.eta,
+            "conversions": len(self.conversions),
+            "to_msr": sum(1 for c in self.conversions if c.target is CodeKind.MSR),
+            "to_rs": sum(1 for c in self.conversions if c.target is CodeKind.RS),
+            "msr_fraction": self.msr_fraction,
+            **{f"trigger:{k}": v for k, v in by_trigger.items()},
+        }

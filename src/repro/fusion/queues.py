@@ -1,0 +1,144 @@
+"""Bounded tracking queues for EC-Fusion's workload adaptation (§III-C.2).
+
+Two instances drive the framework: *Queue1* logs application accesses and
+*Queue2* logs recovery requests.  Each records block IDs and per-block hit
+counts; when capacity is exceeded the eviction policy (LRU or LFU, the
+"existing cache algorithms" the paper names) picks the victim, and Queue2
+evictions trigger the convert-back-to-RS rule of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Iterator
+
+__all__ = ["CachePolicy", "QueueEntry", "TrackingQueue"]
+
+
+class CachePolicy(str, Enum):
+    """Eviction policy for a tracking queue."""
+
+    LRU = "lru"
+    LFU = "lfu"
+
+
+@dataclass
+class QueueEntry:
+    """One tracked block: its ID, hit count and logical insertion clock."""
+
+    key: Hashable
+    hits: int
+    last_touch: int
+
+
+class TrackingQueue:
+    """A bounded queue of block IDs with cache-style eviction.
+
+    ``record`` inserts at the logical head (or bumps an existing entry) and
+    returns the evicted entries, so callers can hook Algorithm 1's
+    "deleted at the tail of Queue2" trigger.
+
+    Examples
+    --------
+    >>> q = TrackingQueue(capacity=2)
+    >>> q.record("a"), q.record("b")
+    ([], [])
+    >>> [e.key for e in q.record("c")]   # LRU evicts "a"
+    ['a']
+    >>> q.hits("b")
+    1
+    """
+
+    def __init__(self, capacity: int, policy: CachePolicy = CachePolicy.LRU):
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.policy = CachePolicy(policy)
+        self._entries: OrderedDict[Hashable, QueueEntry] = OrderedDict()
+        self._clock = 0
+        self.total_hits = 0
+        self.total_evictions = 0
+
+    # -- core ----------------------------------------------------------------
+    def record(self, key: Hashable, clock: int | None = None) -> list[QueueEntry]:
+        """Log one access to ``key``; return entries evicted to make room.
+
+        ``clock`` overrides the queue's internal record counter as the
+        entry's ``last_touch`` — callers tracking idle time against an
+        external event stream (the adaptive selector) pass their own.
+        """
+        self._clock += 1
+        touch = self._clock if clock is None else clock
+        self.total_hits += 1
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.hits += 1
+            entry.last_touch = touch
+            self._entries.move_to_end(key)
+            return []
+        evicted: list[QueueEntry] = []
+        while len(self._entries) >= self.capacity:
+            evicted.append(self._evict_one())
+        self._entries[key] = QueueEntry(key=key, hits=1, last_touch=touch)
+        return evicted
+
+    def _evict_one(self) -> QueueEntry:
+        self.total_evictions += 1
+        if self.policy is CachePolicy.LRU:
+            _, entry = self._entries.popitem(last=False)
+            return entry
+        victim = min(self._entries.values(), key=lambda e: (e.hits, e.last_touch))
+        del self._entries[victim.key]
+        return victim
+
+    def remove(self, key: Hashable) -> QueueEntry | None:
+        """Drop ``key`` without counting it as an eviction (e.g. deleted block)."""
+        return self._entries.pop(key, None)
+
+    def expire_idle(self, min_last_touch: int) -> list[QueueEntry]:
+        """Evict every entry last touched before ``min_last_touch``.
+
+        Supports idle-timeout policies: plain Algorithm 1 only evicts on
+        *insertion* pressure, so a queue full of stale entries survives a
+        quiet period indefinitely; callers wanting time-like decay expire
+        explicitly against their own event clock.
+        """
+        victims = [e for e in self._entries.values() if e.last_touch < min_last_touch]
+        for entry in victims:
+            del self._entries[entry.key]
+            self.total_evictions += 1
+        return victims
+
+    @property
+    def clock(self) -> int:
+        """Logical insertion clock (monotone count of records)."""
+        return self._clock
+
+    # -- queries ---------------------------------------------------------------
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate keys from coldest (tail) to hottest (head)."""
+        return iter(self._entries)
+
+    def hits(self, key: Hashable) -> int:
+        """Hit count for ``key`` (0 if not tracked)."""
+        entry = self._entries.get(key)
+        return 0 if entry is None else entry.hits
+
+    def hottest(self, count: int = 1) -> list[Hashable]:
+        """The ``count`` most-hit keys (ties broken by recency)."""
+        ranked = sorted(
+            self._entries.values(), key=lambda e: (e.hits, e.last_touch), reverse=True
+        )
+        return [e.key for e in ranked[:count]]
+
+    def clear(self) -> None:
+        """Forget everything (e.g. after a coding-scheme reset)."""
+        self._entries.clear()

@@ -1,0 +1,253 @@
+"""Code transformation between RS(k, r) and MSR(2r, r, r, r²) — §III-D.
+
+The trick (paper eqs. (3)–(7)): slice the RS parity-coefficient matrix
+``P`` (r×k) column-wise into q = ⌈k/r⌉ invertible r×r blocks ``B_i``.
+The *intermediary parities* ``p′_i = B_i · d_i`` satisfy
+
+* ``p = p′_1 ⊕ … ⊕ p′_q``  (eq. (3)) — they XOR into the RS parities, and
+* ``d_i = B_i⁻¹ · p′_i``    (eq. (4)) — each set alone determines its data
+  group,
+
+so they act as a "highway" between the two codes:
+
+* **RS → MSR** (Fig. 12(b)): compute ``p′_i`` for the first q−1 groups
+  from their data, then obtain the *last* group's intermediary parity for
+  free as ``p′_q = p ⊕ Σ_{i<q} p′_i`` — group q's data is never read.
+  Each ``p′_i`` maps to the MSR parities of its group through
+  ``Trans2 = Enc_MSR · (B_i⁻¹ ⊗ I_l)`` (eq. (7)).
+* **MSR → RS** (Fig. 12(a)): because MSR(2r, r) has k = r, its parity
+  blocks alone determine the group data, so
+  ``Trans1 = (B_i ⊗ I_l) · Enc_MSR⁻¹`` (eq. (6)) turns each group's MSR
+  parities into ``p′_i`` *without touching any data blocks*; XOR-merging
+  yields the RS parities.
+
+When r ∤ k the paper pads with virtual empty (all-zero) data nodes; we do
+the same by building the ``B_i`` from the width-qr Cauchy extension of the
+same parity family, whose first k columns coincide with RS(k, r)'s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes import MSRCode, ReedSolomonCode
+from ..gf import apply_to_blocks, cauchy, inverse, matmul
+
+__all__ = ["TransformCost", "RsToMsrResult", "MsrToRsResult", "FusionTransformer"]
+
+
+@dataclass
+class TransformCost:
+    """Accounting for one conversion — what the cluster simulator charges.
+
+    ``data_blocks_read``/``parity_blocks_read`` count whole-block reads;
+    ``gf_ops`` estimates GF multiply-accumulate operations on block bytes;
+    ``blocks_written`` counts new parity blocks that must be stored.
+    """
+
+    data_blocks_read: int = 0
+    parity_blocks_read: int = 0
+    blocks_written: int = 0
+    gf_ops: float = 0.0
+
+    @property
+    def blocks_read(self) -> int:
+        return self.data_blocks_read + self.parity_blocks_read
+
+
+@dataclass
+class RsToMsrResult:
+    """Output of an RS→MSR conversion: one MSR stripe per data group."""
+
+    groups: list[np.ndarray]  # q arrays of shape (2r, L): data + MSR parity
+    cost: TransformCost = field(default_factory=TransformCost)
+
+
+@dataclass
+class MsrToRsResult:
+    """Output of an MSR→RS conversion: the merged RS parity blocks."""
+
+    parity: np.ndarray  # (r, L)
+    cost: TransformCost = field(default_factory=TransformCost)
+
+
+class FusionTransformer:
+    """Precomputed Trans1/Trans2 maps for an EC-Fusion(k, r) pair.
+
+    Parameters
+    ----------
+    k, r:
+        The RS(k, r) shape.  The MSR side is always MSR(2r, r, r, r²).
+    msr:
+        Optionally share an existing :class:`MSRCode` (must be (2r, r)).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tr = FusionTransformer(k=4, r=2)
+    >>> data = np.arange(4 * 16, dtype=np.uint8).reshape(4, 16)
+    >>> coded = tr.rs.encode(data)
+    >>> out = tr.rs_to_msr(data, coded[4:])
+    >>> back = tr.msr_to_rs([g[2:] for g in out.groups])
+    >>> bool(np.array_equal(back.parity, coded[4:]))
+    True
+    """
+
+    def __init__(self, k: int, r: int, msr: MSRCode | None = None, w: int = 8):
+        self.k = k
+        self.r = r
+        self.q = -(-k // r)  # ceil
+        self.padding = self.q * r - k
+        self._w = w
+        self.rs = ReedSolomonCode(k, r, w=w)
+        if msr is None:
+            msr = MSRCode(2 * r, r, w=w)
+        elif (msr.n, msr.k) != (2 * r, r):
+            raise ValueError(f"msr must be MSR({2 * r},{r}), got {msr.name}")
+        self.msr = msr
+        l = msr.subpacketization
+
+        # Group blocks B_i from the width-qr extension of the Cauchy family;
+        # its first k columns are exactly the RS(k, r) parity matrix.
+        p_full = cauchy(r, self.q * r, w=w)
+        assert np.array_equal(p_full[:, :k], self.rs.parity_matrix)
+        self.group_blocks = [p_full[:, i * r : (i + 1) * r] for i in range(self.q)]
+        self._group_blocks_inv = [inverse(b, w=w) for b in self.group_blocks]
+
+        enc = msr.generator[msr.k * l :]  # (r·l × r·l), square since k = r
+        enc_inv = inverse(enc, w=w)
+        eye_l = np.eye(l, dtype=np.uint8)
+        #: Trans1_i: group-i MSR parity symbols -> intermediary parity symbols
+        self.trans1 = [
+            matmul(np.kron(b, eye_l), enc_inv, w=w) for b in self.group_blocks
+        ]
+        #: Trans2_i: intermediary parity symbols -> group-i MSR parity symbols
+        self.trans2 = [
+            matmul(enc, np.kron(binv, eye_l), w=w) for binv in self._group_blocks_inv
+        ]
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def subpacketization(self) -> int:
+        """Block lengths must be a multiple of this (the MSR l = r²)."""
+        return self.msr.subpacketization
+
+    def _check_block_len(self, L: int) -> None:
+        if L % self.subpacketization:
+            raise ValueError(
+                f"block length {L} not a multiple of MSR sub-packetization "
+                f"{self.subpacketization}"
+            )
+
+    def _pad_groups(self, data: np.ndarray) -> list[np.ndarray]:
+        """Split (k, L) data into q groups of r blocks, zero-padding the last."""
+        k, L = data.shape
+        if self.padding:
+            pad = np.zeros((self.padding, L), dtype=np.uint8)
+            data = np.concatenate([data, pad], axis=0)
+        return [data[i * self.r : (i + 1) * self.r] for i in range(self.q)]
+
+    def _syms(self, blocks: np.ndarray) -> np.ndarray:
+        l = self.subpacketization
+        rows, L = blocks.shape
+        return blocks.reshape(rows * l, L // l)
+
+    def _blocks(self, syms: np.ndarray, rows: int) -> np.ndarray:
+        total, sub = syms.shape
+        return syms.reshape(rows, (total // rows) * sub)
+
+    # ---------------------------------------------------------------- eq. (3)
+    def intermediary_parities(self, data: np.ndarray) -> np.ndarray:
+        """All q intermediary parity sets p′_i, shape (q, r, L)."""
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
+        groups = self._pad_groups(data)
+        return np.stack(
+            [apply_to_blocks(b, g, w=self._w) for b, g in zip(self.group_blocks, groups)]
+        )
+
+    # ------------------------------------------------------------- conversions
+    def rs_to_msr(self, data: np.ndarray, rs_parity: np.ndarray) -> RsToMsrResult:
+        """Convert one RS stripe into q MSR(2r, r) stripes (Fig. 12(b)).
+
+        Reads the first q−1 data groups and the r RS parities; the last
+        group's intermediary parity comes from eq. (3) without reading its
+        data, and every group's MSR parities from Trans2 (eq. (7)).
+        """
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        rs_parity = np.ascontiguousarray(rs_parity, dtype=np.uint8)
+        L = data.shape[1]
+        self._check_block_len(L)
+        if rs_parity.shape != (self.r, L):
+            raise ValueError(f"rs_parity must be ({self.r}, {L}), got {rs_parity.shape}")
+        groups = self._pad_groups(data)
+        cost = TransformCost(parity_blocks_read=self.r)
+
+        inter = []
+        acc = rs_parity.copy()
+        for i in range(self.q - 1):
+            p_i = apply_to_blocks(self.group_blocks[i], groups[i], w=self._w)
+            inter.append(p_i)
+            np.bitwise_xor(acc, p_i, out=acc)
+            cost.data_blocks_read += self.r
+            cost.gf_ops += self.r * self.r * L
+        inter.append(acc)  # p′_q = p ⊕ Σ_{i<q} p′_i — no data read for group q
+
+        out_groups = []
+        for i in range(self.q):
+            p_syms = self._syms(inter[i])
+            msr_par = self._blocks(
+                apply_to_blocks(self.trans2[i], p_syms, w=self._w), self.r
+            )
+            cost.gf_ops += self.trans2[i].size * (L / self.subpacketization)
+            cost.blocks_written += self.r
+            # Group q's data was derived, not read; materialise it for the
+            # caller (in the real system those blocks stay where they are).
+            if i == self.q - 1 and self.padding == 0:
+                grp_data = groups[i]
+            else:
+                grp_data = groups[i]
+            out_groups.append(np.concatenate([grp_data, msr_par], axis=0))
+        return RsToMsrResult(groups=out_groups, cost=cost)
+
+    def msr_to_rs(self, msr_parities: list[np.ndarray]) -> MsrToRsResult:
+        """Merge q groups' MSR parities into the RS parities (Fig. 12(a)).
+
+        Touches *only* parity blocks: Trans1 (eq. (6)) maps each group's
+        MSR parities straight to its intermediary parity, and eq. (3)
+        XOR-merges them.
+        """
+        if len(msr_parities) != self.q:
+            raise ValueError(f"expected {self.q} parity groups, got {len(msr_parities)}")
+        L = np.asarray(msr_parities[0]).shape[1]
+        self._check_block_len(L)
+        cost = TransformCost()
+        acc = np.zeros((self.r, L), dtype=np.uint8)
+        for i, par in enumerate(msr_parities):
+            par = np.ascontiguousarray(par, dtype=np.uint8)
+            if par.shape != (self.r, L):
+                raise ValueError(f"group {i} parity must be ({self.r}, {L})")
+            p_syms = apply_to_blocks(self.trans1[i], self._syms(par), w=self._w)
+            np.bitwise_xor(acc, self._blocks(p_syms, self.r), out=acc)
+            cost.parity_blocks_read += self.r
+            cost.gf_ops += self.trans1[i].size * (L / self.subpacketization)
+        cost.blocks_written = self.r
+        return MsrToRsResult(parity=acc, cost=cost)
+
+    # -------------------------------------------------------------- validation
+    def verify_roundtrip(self, rng: np.random.Generator, L: int | None = None) -> bool:
+        """Self-check: RS → MSR → RS reproduces the original parities and
+        each MSR group is a valid codeword."""
+        if L is None:
+            L = self.subpacketization * 4
+        data = rng.integers(0, 256, (self.k, L), dtype=np.uint8)
+        coded = self.rs.encode(data)
+        fwd = self.rs_to_msr(data, coded[self.k :])
+        for g in fwd.groups:
+            if not np.array_equal(self.msr.encode(g[: self.r]), g):
+                return False
+        back = self.msr_to_rs([g[self.r :] for g in fwd.groups])
+        return np.array_equal(back.parity, coded[self.k :])

@@ -1,0 +1,48 @@
+"""Galois-field arithmetic substrate for all erasure codes in this repo.
+
+Public surface:
+
+* :class:`repro.gf.GF` — field object with vectorized element arithmetic;
+* :mod:`repro.gf.matrix` — linear algebra over GF(2^w) plus the
+  block-encode kernel :func:`repro.gf.matrix.apply_to_blocks`;
+* :mod:`repro.gf.polynomial` — polynomial eval/interpolation (RS oracle).
+"""
+
+from .arithmetic import GF, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from .matrix import (
+    apply_to_blocks,
+    cauchy,
+    identity,
+    inverse,
+    is_invertible,
+    mat_vec,
+    matmul,
+    rank,
+    solve,
+    systematic_rs_parity,
+    vandermonde,
+)
+from .tables import PRIMITIVE_POLYS, GFTables, get_tables
+
+__all__ = [
+    "GF",
+    "GFTables",
+    "PRIMITIVE_POLYS",
+    "get_tables",
+    "gf_add",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "matmul",
+    "mat_vec",
+    "identity",
+    "inverse",
+    "rank",
+    "solve",
+    "is_invertible",
+    "vandermonde",
+    "cauchy",
+    "systematic_rs_parity",
+    "apply_to_blocks",
+]

@@ -1,0 +1,23 @@
+"""Redundancy-scheme planners: static baselines + adaptive hybrids.
+
+These are the five contenders of the paper's evaluation —
+RS, MSR, LRC (static), HACFS and EC-Fusion (adaptive) — expressed as
+:class:`~repro.hybrid.planners.SchemePlanner` objects that the cluster
+simulator and the analytic metrics share.
+"""
+
+from .fusion_planner import ECFusionPlanner
+from .hacfs import HACFSPlanner
+from .planners import LRCPlanner, MSRPlanner, RSPlanner, SchemePlanner
+from .plans import OpPlan, PlanKind
+
+__all__ = [
+    "OpPlan",
+    "PlanKind",
+    "SchemePlanner",
+    "RSPlanner",
+    "MSRPlanner",
+    "LRCPlanner",
+    "HACFSPlanner",
+    "ECFusionPlanner",
+]

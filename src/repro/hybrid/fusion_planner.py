@@ -1,0 +1,226 @@
+"""Simulator-facing planner for EC-Fusion.
+
+Wraps the same :class:`~repro.fusion.adaptation.AdaptiveSelector` the
+data-carrying :class:`~repro.fusion.framework.ECFusion` uses, but emits
+:class:`~repro.hybrid.plans.OpPlan` cost descriptions instead of moving
+bytes, so the cluster simulator can replay million-request traces.
+
+Slot layout per stripe: ``0..k-1`` data chunks; parity slots ``k..k+qr-1``
+(q = ⌈k/r⌉).  RS mode occupies the first r parity slots; MSR mode occupies
+all qr (group i's parities live at slots ``k + i·r .. k + i·r + r - 1``).
+
+Conversion plans mirror the accounting of
+:class:`repro.fusion.transform.FusionTransformer` exactly:
+
+* RS → MSR reads the first q−1 data groups plus the r RS parities
+  (Fig. 12(b): the last group's data is never read) and writes qr MSR
+  parities; compute = (q−1)·r²·γ for the intermediary parities plus
+  q·r²·l·γ for the Trans2 maps.
+* MSR → RS reads only the qr MSR parities and writes r RS parities;
+  compute = q·r²·l·γ for the Trans1 maps.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..fusion.adaptation import AdaptiveSelector, CodeKind, Conversion
+from ..fusion.costmodel import CostModel, SystemProfile
+from ..fusion.queues import CachePolicy
+from .planners import SchemePlanner
+from .plans import OpPlan, PlanKind
+
+__all__ = ["ECFusionPlanner"]
+
+
+class ECFusionPlanner(SchemePlanner):
+    """Adaptive RS(k, r) / MSR(2r, r, r, r²) hybrid (the paper's EC-Fusion).
+
+    Parameters mirror :class:`repro.fusion.framework.ECFusion`.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        r: int,
+        gamma: float,
+        profile: SystemProfile | None = None,
+        queue_capacity: int = 256,
+        policy: CachePolicy = CachePolicy.LRU,
+        margin: float = 0.0,
+        idle_window: int | None = None,
+    ):
+        self.k, self.r, self.gamma = k, r, gamma
+        self.q = -(-k // r)
+        self.l = r * r  # MSR(2r, r) sub-packetization
+        profile = (profile or SystemProfile()).with_gamma(gamma)
+        self.cost_model = CostModel(k, r, profile)
+        self.selector = AdaptiveSelector(
+            self.cost_model,
+            queue_capacity=queue_capacity,
+            policy=policy,
+            margin=margin,
+            idle_window=idle_window,
+        )
+        self.name = f"EC-Fusion({k},{r})"
+        self._seen: set[Hashable] = set()
+        self.conversion_count = 0
+
+    @property
+    def width(self) -> int:
+        return self.k + self.q * self.r
+
+    def code_of(self, stripe: Hashable) -> CodeKind:
+        return self.selector.code_of(stripe)
+
+    def storage_overhead(self) -> float:
+        rho_rs = (self.k + self.r) / self.k
+        rho_msr = (self.k + self.q * self.r) / self.k
+        if self._seen:
+            from ..fusion.adaptation import CodeKind as _CK
+
+            msr = sum(1 for s in self._seen if self.selector.code_of(s) is _CK.MSR)
+            h = msr / len(self._seen)
+        else:
+            h = 0.0
+        return h * rho_msr + (1 - h) * rho_rs
+
+    # -- conversions -----------------------------------------------------------
+    def _conversion_plans(self, conversions: list[Conversion]) -> list[OpPlan]:
+        plans = []
+        for conv in conversions:
+            if conv.stripe not in self._seen:
+                continue  # flag flip on a stripe that holds no data yet
+            self.conversion_count += 1
+            if conv.target is CodeKind.MSR:
+                plans.append(self._to_msr_plan())
+            else:
+                plans.append(self._to_rs_plan())
+        return plans
+
+    def _to_msr_plan(self) -> OpPlan:
+        g, r, q, l = self.gamma, self.r, self.q, self.l
+        reads = {s: g for s in range((q - 1) * r)}  # first q−1 data groups
+        reads.update({self.k + i: g for i in range(r)})  # the RS parities
+        writes = {self.k + i: g for i in range(q * r)}
+        compute = (q - 1) * r * r * g + q * r * r * l * g
+        return OpPlan(
+            PlanKind.CONVERSION, compute_ops=compute, reads=reads, writes=writes,
+            distributed=True,
+        )
+
+    def _to_rs_plan(self) -> OpPlan:
+        g, r, q, l = self.gamma, self.r, self.q, self.l
+        reads = {self.k + i: g for i in range(q * r)}
+        writes = {self.k + i: g for i in range(r)}
+        compute = q * r * r * l * g
+        return OpPlan(
+            PlanKind.CONVERSION, compute_ops=compute, reads=reads, writes=writes,
+            distributed=True,
+        )
+
+    # -- operations ---------------------------------------------------------------
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        conversions = self.selector.on_write(stripe)
+        # A full-stripe write re-encodes from fresh data, so a flip of the
+        # *written* stripe is free; idle-expiry conversions of other
+        # stripes still cost real work.
+        plans = self._conversion_plans(
+            [c for c in conversions if c.stripe != stripe]
+        )
+        self._seen.add(stripe)
+        kind = self.selector.code_of(stripe)
+        g = self.gamma
+        if kind is CodeKind.RS:
+            compute = g * self.k * self.r
+            writes = {s: g for s in range(self.k + self.r)}
+        else:
+            compute = self.q * (self.l**3 + self.l * g * self.r * self.r)
+            writes = {s: g for s in range(self.k)}
+            writes.update({self.k + i: g for i in range(self.q * self.r)})
+        return plans + [OpPlan(PlanKind.WRITE, compute_ops=compute, writes=writes)]
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        self._seen.add(stripe)  # a stripe being read physically exists
+        plans = self._conversion_plans(self.selector.on_read(stripe))
+        return plans + [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        self._seen.add(stripe)  # a stripe being repaired physically exists
+        conversions = self.selector.on_recovery(stripe)
+        plans = self._conversion_plans(conversions)
+        g, r = self.gamma, self.r
+        if self.selector.code_of(stripe) is CodeKind.RS:
+            helpers = [s for s in range(self.k + r) if s != block][: self.k]
+            plans.append(
+                OpPlan(
+                    PlanKind.RECOVERY,
+                    compute_ops=(self.k + r) * r**2 + g * self.k,
+                    reads={s: g for s in helpers},
+                    writes={block: g},
+                )
+            )
+        else:
+            group = block // r
+            group_data = [group * r + j for j in range(r) if group * r + j != block]
+            group_data = [s for s in group_data if s < self.k]  # padded group
+            group_parity = [self.k + group * r + j for j in range(r)]
+            helpers = group_data + group_parity
+            plans.append(
+                OpPlan(
+                    PlanKind.RECOVERY,
+                    compute_ops=self.l**3 + self.l * g * (2 * r - 1) / r,
+                    reads={s: g / r for s in helpers},
+                    writes={block: g},
+                )
+            )
+        return plans
+
+    def plan_parity_recovery(self, stripe: Hashable, index: int) -> list[OpPlan]:
+        """Reconstruction of one lost parity chunk (current-layout index)."""
+        self._seen.add(stripe)
+        conversions = self.selector.on_recovery(stripe)
+        plans = self._conversion_plans(conversions)
+        g_, r = self.gamma, self.r
+        if self.selector.code_of(stripe) is CodeKind.RS:
+            if not 0 <= index < r:
+                raise ValueError(f"RS-mode parity index {index} out of range")
+            slot = self.k + index
+            helpers = [s for s in range(self.k + r) if s != slot][: self.k]
+            plans.append(
+                OpPlan(
+                    PlanKind.RECOVERY,
+                    compute_ops=(self.k + r) * r**2 + g_ * self.k,
+                    reads={s: g_ for s in helpers},
+                    writes={slot: g_},
+                )
+            )
+            return plans
+        if not 0 <= index < self.q * r:
+            raise ValueError(f"MSR-mode parity index {index} out of range")
+        group, _x = divmod(index, r)
+        slot = self.k + index
+        group_data = [s for s in range(group * r, (group + 1) * r) if s < self.k]
+        group_parity = [
+            self.k + group * r + j for j in range(r) if self.k + group * r + j != slot
+        ]
+        helpers = group_data + group_parity
+        plans.append(
+            OpPlan(
+                PlanKind.RECOVERY,
+                compute_ops=self.l**3 + self.l * g_ * (2 * r - 1) / r,
+                reads={s: g_ / r for s in helpers},
+                writes={slot: g_},
+            )
+        )
+        return plans
+
+    # -- reporting ----------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        return {
+            **self.selector.stats(),
+            "executed_conversions": self.conversion_count,
+            "storage_overhead": self.storage_overhead(),
+        }

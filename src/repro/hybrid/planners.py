@@ -1,0 +1,221 @@
+"""Scheme planners for the static (single-code) baselines: RS, MSR, LRC.
+
+Each planner answers, for one chunk size γ, what a full-stripe write, a
+single-chunk read, and a single-chunk recovery cost in reads/writes/compute
+— the quantities Table III of the paper tabulates.  Slot numbering within a
+stripe: ``0..k-1`` data chunks, then parity chunks in scheme-specific
+order.
+
+Compute units are GF multiply/XOR *byte* operations, matching the paper's
+"number of XOR/GF multiplications" α denominator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+from .plans import OpPlan, PlanKind
+
+__all__ = ["SchemePlanner", "RSPlanner", "MSRPlanner", "LRCPlanner"]
+
+
+class SchemePlanner(abc.ABC):
+    """Interface every redundancy scheme exposes to the simulator.
+
+    Planners are *stateful* for adaptive schemes (HACFS, EC-Fusion track
+    per-stripe heat); the static baselines here ignore the stripe ID.
+    """
+
+    #: human-readable scheme name for experiment tables
+    name: str
+    #: number of data chunks per stripe
+    k: int
+    #: chunk size in bytes
+    gamma: float
+
+    @property
+    @abc.abstractmethod
+    def width(self) -> int:
+        """Maximum number of stripe slots the scheme may occupy."""
+
+    @abc.abstractmethod
+    def storage_overhead(self) -> float:
+        """Current average ρ = stored chunks / data chunks."""
+
+    @abc.abstractmethod
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        """Full-stripe write of k data chunks (HDFS write-once semantics)."""
+
+    @abc.abstractmethod
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        """Read of one data chunk."""
+
+    @abc.abstractmethod
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        """Reconstruction of one lost data chunk."""
+
+    def plan_degraded_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        """Read of a chunk that is currently lost: decode it on the fly.
+
+        Default: the recovery plan without persisting the rebuilt chunk
+        (the reader keeps the decoded bytes; the background repair still
+        owns writing the replacement).  Counts as a recovery event for
+        adaptive schemes — a degraded read *is* a reconstruction.
+        """
+        plans = self.plan_recovery(stripe, block)
+        out = []
+        for plan in plans:
+            if plan.kind is PlanKind.RECOVERY:
+                plan = OpPlan(
+                    kind=PlanKind.RECOVERY,
+                    compute_ops=plan.compute_ops,
+                    reads=dict(plan.reads),
+                    writes={},
+                    distributed=plan.distributed,
+                )
+            out.append(plan)
+        return out
+
+    # -- shared helpers ----------------------------------------------------
+    def _write_all(self, slots: int, compute: float) -> OpPlan:
+        g = self.gamma
+        return OpPlan(
+            kind=PlanKind.WRITE,
+            compute_ops=compute,
+            writes={s: g for s in range(slots)},
+        )
+
+    def _read_one(self, block: int) -> OpPlan:
+        return OpPlan(kind=PlanKind.READ, reads={block: self.gamma})
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.k:
+            raise ValueError(f"data block {block} out of range for k={self.k}")
+
+
+class RSPlanner(SchemePlanner):
+    """RS(k, r): cheap writes, expensive repair (reads k whole chunks)."""
+
+    def __init__(self, k: int, r: int, gamma: float):
+        self.name = f"RS({k},{r})"
+        self.k, self.r, self.gamma = k, r, gamma
+
+    @property
+    def width(self) -> int:
+        return self.k + self.r
+
+    def storage_overhead(self) -> float:
+        return (self.k + self.r) / self.k
+
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        return [self._write_all(self.k + self.r, compute=self.gamma * self.k * self.r)]
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        return [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        helpers = [s for s in range(self.width) if s != block][: self.k]
+        return [
+            OpPlan(
+                kind=PlanKind.RECOVERY,
+                compute_ops=(self.k + self.r) * self.r**2 + self.gamma * self.k,
+                reads={s: self.gamma for s in helpers},
+                writes={block: self.gamma},
+            )
+        ]
+
+
+class MSRPlanner(SchemePlanner):
+    """IH-EC baseline MSR(k+r, k, r, l) — the paper pads with virtual nodes.
+
+    One virtual (all-zero, unstored) data node is added whenever
+    ``r ∤ (k + r)``, exactly as the paper does for k = 8, r = 3.
+    """
+
+    def __init__(self, k: int, r: int, gamma: float):
+        self.k, self.r, self.gamma = k, r, gamma
+        n_real = k + r
+        self.n_eff = -(-n_real // r) * r  # pad up to a multiple of r
+        self.virtual_nodes = self.n_eff - n_real
+        self.l = r ** (self.n_eff // r)
+        self.name = f"MSR({n_real},{k},{r},{self.l})"
+
+    @property
+    def width(self) -> int:
+        return self.k + self.r  # virtual nodes occupy no slot
+
+    def storage_overhead(self) -> float:
+        return (self.k + self.r) / self.k
+
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        compute = self.l**3 + self.l * self.gamma * self.k * self.r
+        return [self._write_all(self.k + self.r, compute=compute)]
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        return [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        helpers = [s for s in range(self.width) if s != block]
+        per_helper = self.gamma / self.r  # optimal repair: 1/r of each block
+        compute = self.l**3 + self.l * self.gamma * (self.n_eff - 1) / self.r
+        return [
+            OpPlan(
+                kind=PlanKind.RECOVERY,
+                compute_ops=compute,
+                reads={s: per_helper for s in helpers},
+                writes={block: self.gamma},
+            )
+        ]
+
+
+class LRCPlanner(SchemePlanner):
+    """LRC(k, r, z): local repair for data chunks at higher storage cost."""
+
+    def __init__(self, k: int, r: int, z: int, gamma: float):
+        if k % z:
+            raise ValueError(f"z={z} must divide k={k}")
+        self.k, self.r, self.z, self.gamma = k, r, z, gamma
+        self.group_size = k // z
+        self.name = f"LRC({k},{r},{z})"
+
+    @property
+    def width(self) -> int:
+        return self.k + self.z + self.r
+
+    def storage_overhead(self) -> float:
+        return (self.k + self.z + self.r) / self.k
+
+    def local_parity_slot(self, group: int) -> int:
+        return self.k + group
+
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        # r global RS parities (γkr mults) + z local XORs ((k − z)γ XORs)
+        compute = self.gamma * (self.k * self.r + (self.k - self.z))
+        return [self._write_all(self.width, compute=compute)]
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        return [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        group = block // self.group_size
+        peers = [
+            s
+            for s in range(group * self.group_size, (group + 1) * self.group_size)
+            if s != block
+        ]
+        helpers = peers + [self.local_parity_slot(group)]
+        return [
+            OpPlan(
+                kind=PlanKind.RECOVERY,
+                compute_ops=self.gamma * self.group_size,
+                reads={s: self.gamma for s in helpers},
+                writes={block: self.gamma},
+            )
+        ]

@@ -1,0 +1,70 @@
+"""Operation plans — the currency between coding schemes and the simulator.
+
+A scheme planner turns a workload event ("write stripe 7", "recover block 3
+of stripe 7") into one or more :class:`OpPlan` objects describing *what
+resources the operation touches*: bytes read per stripe slot, bytes written
+per slot, and GF compute operations.  The cluster simulator executes plans
+against simulated disks/NICs/CPUs; the analytic metrics module sums the
+same plans directly.  Keeping plans data-only means a scheme's cost model
+is exercised identically by both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["PlanKind", "OpPlan"]
+
+
+class PlanKind(str, Enum):
+    """What a plan represents (used for accounting breakdowns)."""
+
+    WRITE = "write"
+    READ = "read"
+    RECOVERY = "recovery"
+    CONVERSION = "conversion"
+
+
+@dataclass(frozen=True)
+class OpPlan:
+    """One storage operation against a stripe's placement group.
+
+    Attributes
+    ----------
+    kind:
+        Operation class; conversions are charged to the scheme that
+        triggered them.
+    compute_ops:
+        GF multiply/XOR byte-operations performed by the coordinating CPU.
+    reads:
+        Bytes to read per stripe slot (slot → bytes).
+    writes:
+        Bytes to write per stripe slot.
+    distributed:
+        When True the plan's traffic does not funnel through the single
+        coordinator NIC — the work is spread across the involved nodes
+        (code conversions aggregate per group in place, unlike a client
+        write or a single-node rebuild which have one natural sink).
+    """
+
+    kind: PlanKind
+    compute_ops: float = 0.0
+    reads: dict[int, float] = field(default_factory=dict)
+    writes: dict[int, float] = field(default_factory=dict)
+    distributed: bool = False
+
+    @property
+    def bytes_read(self) -> float:
+        """Total read traffic."""
+        return sum(self.reads.values())
+
+    @property
+    def bytes_written(self) -> float:
+        """Total write traffic."""
+        return sum(self.writes.values())
+
+    @property
+    def transfer_bytes(self) -> float:
+        """All bytes that cross the network for this plan."""
+        return self.bytes_read + self.bytes_written

@@ -1,0 +1,30 @@
+"""Evaluation metrics: analytic cost models and performance ratios."""
+
+from .costs import SCHEMES, AnalyticCosts, CostBreakdown
+from .queueing import ServiceMix, client_nic_mix, mg1_response, mg1_wait
+from .reliability import ReliabilityModel, SchemeReliability, mttdl_markov
+from .performance import (
+    application_performance,
+    cost_effective_ratio,
+    improvement,
+    overall_performance,
+    recovery_performance,
+)
+
+__all__ = [
+    "SCHEMES",
+    "AnalyticCosts",
+    "CostBreakdown",
+    "application_performance",
+    "recovery_performance",
+    "overall_performance",
+    "cost_effective_ratio",
+    "improvement",
+    "ReliabilityModel",
+    "SchemeReliability",
+    "mttdl_markov",
+    "ServiceMix",
+    "mg1_wait",
+    "mg1_response",
+    "client_nic_mix",
+]

@@ -1,0 +1,174 @@
+"""Analytic cost metrics — the mathematical-analysis half of the evaluation.
+
+Implements the quantities behind the paper's Figs. 13–15 for the five
+contenders, parameterised by ``k`` (r = 3 throughout, matching the 3DFT
+setting), the block size γ, and the *hybrid ratio* ``h`` — the fraction of
+stripes an EH-EC scheme holds in its second code (MSR for EC-Fusion, the
+fast LRC for HACFS).
+
+Scheme identifiers: ``"rs"``, ``"msr"``, ``"lrc"``, ``"hacfs"``,
+``"ecfusion"``.  Units: storage is the ratio ρ; computation is GF
+multiply/XOR byte-operation counts; transmission is chunk counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SCHEMES", "AnalyticCosts", "CostBreakdown"]
+
+SCHEMES = ("rs", "msr", "lrc", "hacfs", "ecfusion")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One scheme's analytic costs at a given (k, γ, h)."""
+
+    scheme: str
+    storage: float
+    app_compute: float
+    rec_compute: float
+    app_transmission: float
+    rec_transmission: float
+
+
+class AnalyticCosts:
+    """Closed-form cost model for the paper's five schemes.
+
+    Parameters
+    ----------
+    k:
+        Data chunks per stripe (the paper evaluates k ∈ {6, 8}).
+    r:
+        Global fault tolerance (3, the 3DFT configuration).
+    gamma:
+        Chunk size in bytes (64 KB in the paper's Figs. 14–15).
+    """
+
+    def __init__(self, k: int, r: int = 3, gamma: float = 64 * 1024):
+        if k <= 0 or r <= 0 or gamma <= 0:
+            raise ValueError("k, r and gamma must be positive")
+        self.k, self.r, self.gamma = k, r, gamma
+        # EC-Fusion grouping: q groups of r, padded as in §III-D
+        self.q = -(-k // r)
+        self.l_fusion = r * r  # MSR(2r, r) sub-packetization
+        # IH-EC MSR baseline MSR(k+r, k, r, l) with virtual-node padding
+        n_real = k + r
+        self.n_msr = -(-n_real // r) * r
+        self.l_msr = r ** (self.n_msr // r)
+
+    # -- helpers ----------------------------------------------------------
+    def _check(self, scheme: str, h: float) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+        if not 0.0 <= h <= 1.0:
+            raise ValueError("hybrid ratio h must be in [0, 1]")
+
+    @staticmethod
+    def _mix(h: float, base: float, alt: float) -> float:
+        return (1 - h) * base + h * alt
+
+    # -- storage (Fig. 13) ---------------------------------------------------
+    def storage(self, scheme: str, h: float = 0.0) -> float:
+        """ρ = stored chunks / data chunks at hybrid ratio h."""
+        self._check(scheme, h)
+        k, r = self.k, self.r
+        if scheme == "rs":
+            return (k + r) / k
+        if scheme == "msr":
+            return (k + r) / k  # virtual nodes are not stored
+        if scheme == "lrc":
+            return (k + 2 + 2) / k
+        if scheme == "hacfs":
+            compact = (k + 2 + 2) / k
+            fast = (k + 2 + k / 2) / k
+            return self._mix(h, compact, fast)
+        # ecfusion: RS stripes vs MSR(2r, r)-converted stripes (k + q·r chunks)
+        rs = (k + r) / k
+        msr = (k + self.q * r) / k
+        return self._mix(h, rs, msr)
+
+    # -- computation (Fig. 14) --------------------------------------------------
+    def app_compute(self, scheme: str, h: float = 0.0) -> float:
+        """GF operations to encode one full stripe of k chunks."""
+        self._check(scheme, h)
+        g, k, r = self.gamma, self.k, self.r
+        if scheme == "rs":
+            return g * k * r
+        if scheme == "msr":
+            return self.l_msr**3 + self.l_msr * g * k * r
+        if scheme == "lrc":
+            return g * (k * 2 + (k - 2))
+        if scheme == "hacfs":
+            compact = g * (k * 2 + (k - 2))
+            fast = g * (k * 2 + (k - k / 2))
+            return self._mix(h, compact, fast)
+        l = self.l_fusion
+        rs = g * k * r
+        msr = self.q * (l**3 + l * g * r * r)
+        return self._mix(h, rs, msr)
+
+    def rec_compute(self, scheme: str, h: float = 0.0) -> float:
+        """GF operations to reconstruct one chunk."""
+        self._check(scheme, h)
+        g, k, r = self.gamma, self.k, self.r
+        if scheme == "rs":
+            return (k + r) * r**2 + g * k
+        if scheme == "msr":
+            return self.l_msr**3 + self.l_msr * g * (self.n_msr - 1) / r
+        if scheme == "lrc":
+            return g * (k / 2)
+        if scheme == "hacfs":
+            compact = g * (k / 2)
+            fast = g * 2.0
+            return self._mix(h, compact, fast)
+        l = self.l_fusion
+        rs = (k + r) * r**2 + g * k
+        msr = l**3 + l * g * (2 * r - 1) / r
+        return self._mix(h, rs, msr)
+
+    # -- transmission (Fig. 15) ----------------------------------------------------
+    def app_transmission(self, scheme: str, h: float = 0.0) -> float:
+        """Chunks transferred to write one full stripe."""
+        self._check(scheme, h)
+        k, r = self.k, self.r
+        if scheme == "rs":
+            return k + r
+        if scheme == "msr":
+            return k + r  # virtual chunks carry no bytes
+        if scheme == "lrc":
+            return k + 4
+        if scheme == "hacfs":
+            return self._mix(h, k + 4, k + 2 + k / 2)
+        return self._mix(h, k + r, k + self.q * r)
+
+    def rec_transmission(self, scheme: str, h: float = 1.0) -> float:
+        """Chunks transferred to reconstruct one chunk.
+
+        The paper's Fig. 15(b) assumes EH-EC schemes improve *all* recovery
+        requests (h = 1 by default here): recoveries hit the repair-friendly
+        code.
+        """
+        self._check(scheme, h)
+        k, r = self.k, self.r
+        if scheme == "rs":
+            return float(k)
+        if scheme == "msr":
+            return (self.n_msr - 1) / r
+        if scheme == "lrc":
+            return k / 2
+        if scheme == "hacfs":
+            return self._mix(h, k / 2, 2.0)
+        return self._mix(h, float(k), (2 * r - 1) / r)
+
+    # -- bundle -----------------------------------------------------------------------
+    def breakdown(self, scheme: str, h: float = 0.0, rec_h: float = 1.0) -> CostBreakdown:
+        """All five metrics for one scheme at application ratio ``h``."""
+        return CostBreakdown(
+            scheme=scheme,
+            storage=self.storage(scheme, h),
+            app_compute=self.app_compute(scheme, h),
+            rec_compute=self.rec_compute(scheme, rec_h if scheme in ("hacfs", "ecfusion") else h),
+            app_transmission=self.app_transmission(scheme, h),
+            rec_transmission=self.rec_transmission(scheme, rec_h),
+        )

@@ -1,0 +1,55 @@
+"""Experimental performance metrics (paper §IV-A.4, metrics 2.a–2.d).
+
+These pure functions back the :class:`repro.cluster.SimulationResult`
+properties and are exported separately so experiments and tests can apply
+them to any latency samples.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+__all__ = [
+    "application_performance",
+    "recovery_performance",
+    "overall_performance",
+    "cost_effective_ratio",
+    "improvement",
+]
+
+
+def application_performance(latencies: list[float]) -> float:
+    """ε₁ — mean latency of application reads/writes (metric 2.a)."""
+    return mean(latencies) if latencies else 0.0
+
+
+def recovery_performance(latencies: list[float]) -> float:
+    """ε₂ — mean decoding/reconstruction overhead (metric 2.b)."""
+    return mean(latencies) if latencies else 0.0
+
+
+def overall_performance(eps1: float, eps2: float, mu1: int, mu2: int) -> float:
+    """ε = (μ₁ε₁ + μ₂ε₂)/(μ₁ + μ₂) (metric 2.c)."""
+    if mu1 < 0 or mu2 < 0:
+        raise ValueError("request counts must be non-negative")
+    if mu1 + mu2 == 0:
+        return 0.0
+    return (mu1 * eps1 + mu2 * eps2) / (mu1 + mu2)
+
+
+def cost_effective_ratio(overall: float, storage: float) -> float:
+    """ζ = 1/(ε·ρ) (metric 2.d): performance per unit of storage spend."""
+    if overall <= 0 or storage <= 0:
+        raise ValueError("overall performance and storage cost must be positive")
+    return 1.0 / (overall * storage)
+
+
+def improvement(baseline: float, candidate: float) -> float:
+    """Fractional improvement of ``candidate`` over ``baseline``.
+
+    For latencies/costs (lower is better): ``(baseline − candidate)/baseline``.
+    The paper's Table VII percentages are this quantity × 100.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - candidate) / baseline

@@ -1,0 +1,47 @@
+"""Application and recovery workloads.
+
+* :mod:`repro.workloads.trace` — request/trace model + Table V statistics;
+* :mod:`repro.workloads.synthetic` — seeded generator with controlled mix;
+* :mod:`repro.workloads.msr_traces` — Table V stand-ins (mds1/rsrch2/web1/rsrch0);
+* :mod:`repro.workloads.failures` — temporally/spatially local failure streams.
+"""
+
+from .failures import (
+    BathtubPhases,
+    FailureConfig,
+    FailureEvent,
+    NodeFailureEvent,
+    failures_for_trace,
+    generate_bathtub_failures,
+    generate_failures,
+)
+from .io import load_failures, load_msr_csv, load_trace, save_failures, save_trace
+from .msr_traces import TABLE_V, TRACE_NAMES, TraceSpec, make_trace
+from .synthetic import SyntheticTraceConfig, generate_trace, zipf_weights
+from .trace import OpType, Request, Trace, TraceStats
+
+__all__ = [
+    "OpType",
+    "Request",
+    "Trace",
+    "TraceStats",
+    "SyntheticTraceConfig",
+    "generate_trace",
+    "zipf_weights",
+    "TraceSpec",
+    "TABLE_V",
+    "TRACE_NAMES",
+    "make_trace",
+    "FailureEvent",
+    "NodeFailureEvent",
+    "FailureConfig",
+    "BathtubPhases",
+    "generate_bathtub_failures",
+    "generate_failures",
+    "failures_for_trace",
+    "save_trace",
+    "load_trace",
+    "save_failures",
+    "load_failures",
+    "load_msr_csv",
+]

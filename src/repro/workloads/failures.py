@@ -1,0 +1,263 @@
+"""Recovery-workload generation — failures with temporal & spatial locality.
+
+Follows the paper's methodology (§IV-A.2) directly:
+
+* failures are seeded randomly, then each subsequent failure time is drawn
+  from a normal distribution around the configured mean interval (temporal
+  locality: failures cluster in time);
+* the failed location is drawn with probability inversely proportional to
+  its distance from the nearest previous failure (spatial locality);
+* 98 % of failures are single-chunk failures, so the generator emits
+  single-chunk events and the experiments evaluate single-failure repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = [
+    "FailureEvent",
+    "NodeFailureEvent",
+    "FailureConfig",
+    "BathtubPhases",
+    "generate_failures",
+    "generate_bathtub_failures",
+    "failures_for_trace",
+]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One chunk loss: the recovery workload's unit of work."""
+
+    time: float
+    stripe: int
+    block: int
+
+
+@dataclass(frozen=True)
+class NodeFailureEvent:
+    """A whole storage node dies: every chunk it held needs rebuilding.
+
+    The cluster driver expands this into one recovery job per affected
+    (stripe, slot) at trigger time — the classic recovery storm.
+    """
+
+    time: float
+    node: int
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Failure-process parameters.
+
+    Attributes
+    ----------
+    count:
+        Number of failure events to generate.
+    horizon:
+        Time span in seconds over which failures occur.
+    num_stripes, blocks_per_stripe:
+        The address space failures are drawn from.
+    temporal_sigma:
+        Std-dev of the normal inter-failure interval, as a fraction of the
+        mean interval (clipped at 0) — larger values = burstier failures.
+    spatial_decay:
+        How sharply failure probability falls with distance from the last
+        failure; probability ∝ 1 / (1 + decay · distance).
+    """
+
+    count: int
+    horizon: float
+    num_stripes: int
+    blocks_per_stripe: int
+    temporal_sigma: float = 0.5
+    spatial_decay: float = 1.0
+
+    def __post_init__(self):
+        if self.count < 0 or self.horizon <= 0:
+            raise ValueError("count must be >= 0 and horizon positive")
+        if self.num_stripes <= 0 or self.blocks_per_stripe <= 0:
+            raise ValueError("address space must be positive")
+        if self.temporal_sigma < 0 or self.spatial_decay < 0:
+            raise ValueError("locality parameters must be non-negative")
+
+
+def generate_failures(config: FailureConfig, seed: int = 0) -> list[FailureEvent]:
+    """Generate time-ordered failure events per the paper's §IV-A.2 model."""
+    rng = np.random.default_rng(seed)
+    if config.count == 0:
+        return []
+    mean_gap = config.horizon / config.count
+    total_blocks = config.num_stripes * config.blocks_per_stripe
+    addresses = np.arange(total_blocks)
+
+    events: list[FailureEvent] = []
+    t = 0.0
+    # Distance to the *nearest* previous failure (the paper's wording):
+    # previously-failed regions keep attracting new failures, so clusters
+    # form around the first few anchors.
+    min_dist: np.ndarray | None = None
+    last_addr: int | None = None
+    for _ in range(config.count):
+        gap = rng.normal(mean_gap, config.temporal_sigma * mean_gap)
+        t += max(gap, mean_gap * 0.01)  # keep time strictly advancing
+        if min_dist is None:
+            addr = int(rng.integers(total_blocks))
+        else:
+            weights = 1.0 / (1.0 + config.spatial_decay * min_dist)
+            if last_addr is not None:
+                weights[last_addr] = 0.0  # the same chunk cannot re-fail immediately
+            weights /= weights.sum()
+            addr = int(rng.choice(total_blocks, p=weights))
+        dist = np.abs(addresses - addr)
+        min_dist = dist if min_dist is None else np.minimum(min_dist, dist)
+        last_addr = addr
+        events.append(
+            FailureEvent(
+                time=t,
+                stripe=addr // config.blocks_per_stripe,
+                block=addr % config.blocks_per_stripe,
+            )
+        )
+    return events
+
+
+@dataclass(frozen=True)
+class BathtubPhases:
+    """Piecewise failure intensities over a device lifetime (per second).
+
+    The classic bathtub curve: elevated infant mortality, a long low-rate
+    useful life, then rising wearout — the reliability heterogeneity that
+    HeART (paper ref. [23]) exploits and that EC-Fusion's Queue2 machinery
+    adapts to implicitly.
+    """
+
+    infancy_duration: float
+    useful_duration: float
+    wearout_duration: float
+    infancy_rate: float
+    useful_rate: float
+    wearout_rate: float
+
+    def __post_init__(self):
+        for name in (
+            "infancy_duration",
+            "useful_duration",
+            "wearout_duration",
+            "infancy_rate",
+            "useful_rate",
+            "wearout_rate",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def horizon(self) -> float:
+        return self.infancy_duration + self.useful_duration + self.wearout_duration
+
+    def rate_at(self, t: float) -> float:
+        """Failure intensity at lifetime offset ``t``."""
+        if t < 0 or t > self.horizon:
+            raise ValueError(f"t={t} outside the lifetime [0, {self.horizon}]")
+        if t < self.infancy_duration:
+            return self.infancy_rate
+        if t < self.infancy_duration + self.useful_duration:
+            return self.useful_rate
+        return self.wearout_rate
+
+    def phase_of(self, t: float) -> str:
+        if t < self.infancy_duration:
+            return "infancy"
+        if t < self.infancy_duration + self.useful_duration:
+            return "useful"
+        return "wearout"
+
+
+def generate_bathtub_failures(
+    phases: BathtubPhases,
+    num_stripes: int,
+    blocks_per_stripe: int,
+    spatial_decay: float = 25.0,
+    seed: int = 0,
+) -> list[FailureEvent]:
+    """Failure stream following a bathtub intensity, spatially localised.
+
+    Uses thinning (accept/reject against the max rate) for the piecewise-
+    Poisson arrival times, then draws locations with the same
+    nearest-previous-failure model as :func:`generate_failures`.
+    """
+    rng = np.random.default_rng(seed)
+    max_rate = max(phases.infancy_rate, phases.useful_rate, phases.wearout_rate)
+    if max_rate <= 0:
+        return []
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / max_rate)
+        if t >= phases.horizon:
+            break
+        if rng.random() < phases.rate_at(t) / max_rate:
+            times.append(t)
+
+    total_blocks = num_stripes * blocks_per_stripe
+    addresses = np.arange(total_blocks)
+    events: list[FailureEvent] = []
+    min_dist: np.ndarray | None = None
+    last_addr: int | None = None
+    for event_time in times:
+        if min_dist is None:
+            addr = int(rng.integers(total_blocks))
+        else:
+            weights = 1.0 / (1.0 + spatial_decay * min_dist)
+            if last_addr is not None:
+                weights[last_addr] = 0.0
+            weights /= weights.sum()
+            addr = int(rng.choice(total_blocks, p=weights))
+        dist = np.abs(addresses - addr)
+        min_dist = dist if min_dist is None else np.minimum(min_dist, dist)
+        last_addr = addr
+        events.append(
+            FailureEvent(
+                time=event_time,
+                stripe=addr // blocks_per_stripe,
+                block=addr % blocks_per_stripe,
+            )
+        )
+    return events
+
+
+def failures_for_trace(
+    trace: Trace,
+    blocks_per_stripe: int,
+    rate: float = 0.005,
+    seed: int = 0,
+    num_stripes: int | None = None,
+    **locality,
+) -> list[FailureEvent]:
+    """Failure stream sized to a trace: ``rate`` failures per application request.
+
+    The events span the trace's duration so foreground and background
+    workloads genuinely overlap (the online-recovery scenario).
+    ``num_stripes`` restricts failures to a base working set (useful with
+    write-once traces whose fresh write stripes should not fail
+    immediately); default is everything the trace touches.
+    """
+    if not 0 <= rate:
+        raise ValueError("rate must be non-negative")
+    count = max(1, int(len(trace) * rate)) if len(trace) else 0
+    if num_stripes is None:
+        stripes = trace.stripes()
+        num_stripes = (max(stripes) + 1) if stripes else 1
+    config = FailureConfig(
+        count=count,
+        horizon=max(trace.duration, 1.0),
+        num_stripes=num_stripes,
+        blocks_per_stripe=blocks_per_stripe,
+        **locality,
+    )
+    return generate_failures(config, seed=seed)

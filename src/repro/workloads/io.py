@@ -1,0 +1,120 @@
+"""Workload persistence: JSON round-trips and the MSR Cambridge CSV format.
+
+Two audiences:
+
+* reproducibility — experiments can snapshot the exact trace + failure
+  stream they ran (`save_trace`/`load_trace`, `save_failures`/
+  `load_failures`) so a result is re-examinable without regeneration;
+* real traces — users holding the actual MSR Cambridge block traces
+  (SNIA IOTTA; the format is
+  ``timestamp,hostname,disknum,type,offset,size,responsetime``) can
+  import them with :func:`load_msr_csv`, which maps byte offsets onto the
+  stripe/chunk address space the simulator uses.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .failures import FailureEvent
+from .trace import OpType, Request, Trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_failures",
+    "load_failures",
+    "load_msr_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write a trace as JSON (versioned, self-describing)."""
+    payload = {
+        "format": "repro-trace",
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "requests": [
+            [r.time, r.op.value, r.stripe, r.block, r.size] for r in trace.requests
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-trace":
+        raise ValueError(f"{path}: not a repro trace file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported version {payload.get('version')}")
+    requests = [
+        Request(time=t, op=OpType(op), stripe=stripe, block=block, size=size)
+        for t, op, stripe, block, size in payload["requests"]
+    ]
+    return Trace(name=payload["name"], requests=requests)
+
+
+def save_failures(failures: list[FailureEvent], path: str | Path) -> None:
+    """Write a failure stream as JSON."""
+    payload = {
+        "format": "repro-failures",
+        "version": _FORMAT_VERSION,
+        "events": [[f.time, f.stripe, f.block] for f in failures],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_failures(path: str | Path) -> list[FailureEvent]:
+    """Read a failure stream previously written by :func:`save_failures`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-failures":
+        raise ValueError(f"{path}: not a repro failures file")
+    return [FailureEvent(time=t, stripe=s, block=b) for t, s, b in payload["events"]]
+
+
+def load_msr_csv(
+    path: str | Path,
+    chunk_size: float = 27 * 1024 * 1024,
+    blocks_per_stripe: int = 8,
+    max_requests: int | None = None,
+    name: str | None = None,
+) -> Trace:
+    """Import an MSR Cambridge block trace (SNIA CSV format).
+
+    Columns: ``timestamp, hostname, disknum, type, offset, size,
+    responsetime`` with the timestamp in Windows filetime (100 ns ticks).
+    Byte offsets map onto chunks of ``chunk_size`` grouped into stripes of
+    ``blocks_per_stripe``; each CSV row becomes one chunk-level request at
+    a time relative to the first row.
+    """
+    path = Path(path)
+    requests: list[Request] = []
+    t0: float | None = None
+    with path.open(newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or len(row) < 6:
+                continue
+            timestamp, _host, _disk, op_str, offset, size = row[:6]
+            ticks = float(timestamp)
+            seconds = ticks / 1e7  # Windows filetime: 100 ns units
+            if t0 is None:
+                t0 = seconds
+            chunk = int(float(offset) // chunk_size)
+            op = OpType.READ if op_str.strip().lower().startswith("r") else OpType.WRITE
+            requests.append(
+                Request(
+                    time=seconds - t0,
+                    op=op,
+                    stripe=chunk // blocks_per_stripe,
+                    block=chunk % blocks_per_stripe,
+                    size=float(size),
+                )
+            )
+            if max_requests is not None and len(requests) >= max_requests:
+                break
+    return Trace.from_requests(name or path.stem, requests)

@@ -1,0 +1,121 @@
+"""Workload model: requests, traces and their summary statistics.
+
+A trace is a time-ordered list of block-level requests against stripes.
+The statistics mirror the columns of the paper's Table V (request count,
+read percentage, IOPS, mean request size) so synthetic stand-ins for the
+MSR Cambridge traces can be validated against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+__all__ = ["OpType", "Request", "TraceStats", "Trace"]
+
+
+class OpType(str, Enum):
+    """Request operation."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One block-level request.
+
+    Attributes
+    ----------
+    time:
+        Arrival time in seconds from trace start.
+    op:
+        Read or write.
+    stripe:
+        Stripe (file) identifier — the unit EC-Fusion converts.
+    block:
+        Data-chunk index within the stripe (reads touch one chunk; a write
+        rewrites the whole stripe, per HDFS write-once semantics).
+    size:
+        Application-level request size in bytes (kept for Table V
+        statistics; chunk-granular costs are derived from γ).
+    """
+
+    time: float
+    op: OpType
+    stripe: int
+    block: int
+    size: float = 0.0
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """The Table V summary columns."""
+
+    num_requests: int
+    read_fraction: float
+    iops: float
+    avg_request_size: float
+
+    def row(self) -> tuple[int, str, str, str]:
+        """Formatted like the paper's Table V."""
+        return (
+            self.num_requests,
+            f"{self.read_fraction * 100:.2f}%",
+            f"{self.iops:.2f}",
+            f"{self.avg_request_size / 1024:.2f} KB",
+        )
+
+
+@dataclass
+class Trace:
+    """A named, time-ordered request sequence."""
+
+    name: str
+    requests: list[Request] = field(default_factory=list)
+
+    def __post_init__(self):
+        times = [r.time for r in self.requests]
+        if any(b > a for a, b in zip(times[1:], times)):
+            raise ValueError("trace requests must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from first to last arrival."""
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].time - self.requests[0].time
+
+    def stats(self) -> TraceStats:
+        """Summary statistics in Table V's terms."""
+        n = len(self.requests)
+        if n == 0:
+            return TraceStats(0, 0.0, 0.0, 0.0)
+        reads = sum(1 for r in self.requests if r.op is OpType.READ)
+        span = self.duration
+        return TraceStats(
+            num_requests=n,
+            read_fraction=reads / n,
+            iops=n / span if span > 0 else float("inf"),
+            avg_request_size=sum(r.size for r in self.requests) / n,
+        )
+
+    def stripes(self) -> set[int]:
+        """Distinct stripes the trace touches."""
+        return {r.stripe for r in self.requests}
+
+    def head(self, count: int) -> "Trace":
+        """The first ``count`` requests as a sub-trace (for quick runs)."""
+        return Trace(name=f"{self.name}[:{count}]", requests=self.requests[:count])
+
+    @classmethod
+    def from_requests(cls, name: str, requests: Iterable[Request]) -> "Trace":
+        """Build a trace, sorting requests by arrival time."""
+        return cls(name=name, requests=sorted(requests, key=lambda r: r.time))

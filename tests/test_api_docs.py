@@ -1,0 +1,28 @@
+"""The committed API reference must match the code (regenerate on drift)."""
+
+import pathlib
+import sys
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs" / "api.md"
+SCRIPTS = pathlib.Path(__file__).resolve().parent.parent / "scripts"
+
+
+def test_api_docs_up_to_date():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import gen_api_docs
+
+        expected = gen_api_docs.generate()
+    finally:
+        sys.path.pop(0)
+    assert DOCS.exists(), "run python scripts/gen_api_docs.py"
+    assert DOCS.read_text() == expected, (
+        "docs/api.md is stale — regenerate with python scripts/gen_api_docs.py"
+    )
+
+
+def test_api_docs_cover_key_classes():
+    text = DOCS.read_text()
+    for name in ("ReedSolomonCode", "MSRCode", "ECFusion", "FusionTransformer",
+                 "run_workload", "AnalyticCosts", "ReliabilityModel"):
+        assert name in text, name

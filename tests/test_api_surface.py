@@ -1,0 +1,68 @@
+"""API-surface consistency: __all__ exports exist, import graph is clean."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.gf",
+    "repro.codes",
+    "repro.fusion",
+    "repro.hybrid",
+    "repro.cluster",
+    "repro.workloads",
+    "repro.metrics",
+    "repro.experiments",
+]
+
+
+def all_modules():
+    names = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        names.append(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                if info.name == "__main__":
+                    continue  # importing it runs the CLI
+                names.append(f"{pkg_name}.{info.name}")
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("name", all_modules())
+def test_module_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_dunder_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, name
+
+
+def test_top_level_reexports():
+    from repro import ECFusion, MSRCode, ReedSolomonCode  # noqa: F401
+
+    assert repro.__version__
+
+
+def test_public_classes_documented():
+    """Every top-level export carries a docstring."""
+    for symbol in repro.__all__:
+        if symbol.startswith("__"):
+            continue
+        obj = getattr(repro, symbol)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"repro.{symbol} is undocumented"

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, config_from_args, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig13"])
+        assert args.experiments == ["fig13"]
+        assert args.k == [6, 8]
+
+    def test_overrides_build_config(self):
+        args = build_parser().parse_args(
+            ["fig16", "--requests", "50", "--stripes", "12", "--seed", "3",
+             "--failure-rate", "0.2"]
+        )
+        config = config_from_args(args)
+        assert config.num_requests == 50
+        assert config.num_stripes == 12
+        assert config.seed == 3
+        assert config.failure_rate == pytest.approx(0.2)
+
+    def test_default_config_untouched(self):
+        args = build_parser().parse_args(["fig13"])
+        from repro.experiments import ExperimentConfig
+
+        assert config_from_args(args) == ExperimentConfig()
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_analytic_figures_run(self, capsys):
+        assert main(["fig13", "fig14", "fig15", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out
+        assert "Fig. 14" in out
+        assert "Fig. 15" in out
+
+    def test_simulation_figure_runs_small(self, capsys):
+        code = main(
+            ["fig17", "--requests", "60", "--stripes", "10", "--failure-rate", "0.1"]
+        )
+        assert code == 0
+        assert "Fig. 17" in capsys.readouterr().out
+
+    def test_all_includes_every_experiment(self):
+        names = ["all"]
+        # resolves to the full list without erroring on name resolution
+        args = build_parser().parse_args(names)
+        assert args.experiments == ["all"]
+
+
+class TestMainModule:
+    def test_python_dash_m_invocation(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig13", "--k", "8"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr[-500:]
+        assert "Fig. 13" in proc.stdout

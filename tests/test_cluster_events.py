@@ -1,0 +1,189 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.cluster import AllOf, Event, FIFOResource, Simulator
+
+
+class TestSimulator:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield sim.timeout(3)
+            log.append(sim.now)
+            yield sim.timeout(2)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [3.0, 5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield sim.timeout(1)
+                log.append(sim.now)
+
+        sim.process(proc())
+        sim.run(until=4.5)
+        assert log == [1.0, 2.0, 3.0, 4.0]
+        assert sim.now == 4.5
+
+    def test_deterministic_tie_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1)
+            log.append(tag)
+
+        for tag in "abc":
+            sim.process(proc(tag))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_event_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_process_result_value(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1)
+            return 42
+
+        def outer(out):
+            value = yield sim.process(inner())
+            out.append(value)
+
+        out = []
+        sim.process(outer(out))
+        sim.run()
+        assert out == [42]
+
+    def test_process_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 5
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestAllOf:
+    def test_barrier_waits_for_slowest(self):
+        sim = Simulator()
+        done = []
+
+        def worker(d):
+            yield sim.timeout(d)
+
+        def coordinator():
+            yield AllOf(sim, [sim.process(worker(d)) for d in (1, 5, 3)])
+            done.append(sim.now)
+
+        sim.process(coordinator())
+        sim.run()
+        assert done == [5.0]
+
+    def test_empty_barrier_fires_immediately(self):
+        sim = Simulator()
+        done = []
+
+        def coordinator():
+            yield AllOf(sim, [])
+            done.append(sim.now)
+
+        sim.process(coordinator())
+        sim.run()
+        assert done == [0.0]
+
+    def test_already_triggered_children(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.succeed()
+        done = []
+
+        def proc():
+            yield AllOf(sim, [ev])
+            done.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [True]
+
+
+class TestFIFOResource:
+    def test_serializes_users(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "r")
+        log = []
+
+        def user(tag, hold):
+            yield from res.use(hold)
+            log.append((tag, sim.now))
+
+        for tag, hold in (("a", 3), ("b", 2), ("c", 1)):
+            sim.process(user(tag, hold))
+        sim.run()
+        assert log == [("a", 3.0), ("b", 5.0), ("c", 6.0)]
+
+    def test_release_without_acquire(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "r")
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "r")
+
+        def proc():
+            yield from res.use(-1)
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "r")
+
+        def user():
+            yield from res.use(2.5)
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        assert res.busy_time == pytest.approx(5.0)
+        assert res.served == 2
+
+    def test_parallel_resources_do_not_serialize(self):
+        sim = Simulator()
+        r1, r2 = FIFOResource(sim, "r1"), FIFOResource(sim, "r2")
+        log = []
+
+        def user(res, tag):
+            yield from res.use(4)
+            log.append((tag, sim.now))
+
+        sim.process(user(r1, "a"))
+        sim.process(user(r2, "b"))
+        sim.run()
+        assert log == [("a", 4.0), ("b", 4.0)]

@@ -1,0 +1,98 @@
+"""Tests for the parallel batch-coding API."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    MSRCode,
+    ReedSolomonCode,
+    UnrecoverableError,
+    decode_batch,
+    encode_batch,
+    repair_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def rs():
+    return ReedSolomonCode(6, 3)
+
+
+def make_stripes(rng, code, count, L=256):
+    return [rng.integers(0, 256, (code.k, L), dtype=np.uint8) for _ in range(count)]
+
+
+class TestEncodeBatch:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_matches_sequential(self, rs, workers):
+        rng = np.random.default_rng(0)
+        stripes = make_stripes(rng, rs, 12)
+        out = encode_batch(rs, stripes, max_workers=workers)
+        for data, coded in zip(stripes, out):
+            assert np.array_equal(coded, rs.encode(data))
+
+    def test_order_preserved(self, rs):
+        rng = np.random.default_rng(1)
+        stripes = make_stripes(rng, rs, 8)
+        out = encode_batch(rs, stripes, max_workers=4)
+        for data, coded in zip(stripes, out):
+            assert np.array_equal(coded[: rs.k], data)
+
+    def test_empty_batch(self, rs):
+        assert encode_batch(rs, [], max_workers=4) == []
+
+    def test_invalid_workers(self, rs):
+        with pytest.raises(ValueError):
+            encode_batch(rs, [], max_workers=0)
+
+    def test_worker_exception_propagates(self, rs):
+        bad = [np.zeros((2, 8), dtype=np.uint8)]  # wrong k
+        with pytest.raises(ValueError):
+            encode_batch(rs, bad, max_workers=4)
+
+
+class TestDecodeBatch:
+    def test_parallel_decode(self, rs):
+        rng = np.random.default_rng(2)
+        stripes = make_stripes(rng, rs, 10)
+        coded = encode_batch(rs, stripes, max_workers=4)
+        maps = [
+            {i: cw[i] for i in range(rs.n) if i not in (j % rs.n, (j + 3) % rs.n)}
+            for j, cw in enumerate(coded)
+        ]
+        out = decode_batch(rs, maps, max_workers=4)
+        for cw, rec in zip(coded, out):
+            assert np.array_equal(rec, cw)
+
+    def test_unrecoverable_raises(self, rs):
+        rng = np.random.default_rng(3)
+        coded = rs.encode(make_stripes(rng, rs, 1)[0])
+        with pytest.raises(UnrecoverableError):
+            decode_batch(rs, [{0: coded[0]}], max_workers=2)
+
+
+class TestRepairBatch:
+    def test_storm_shape(self):
+        """A node-failure storm: many repairs of different stripes at once."""
+        msr = MSRCode(6, 3, verify="off")
+        rng = np.random.default_rng(4)
+        stripes = make_stripes(rng, msr, 9, L=9 * 16)
+        coded = encode_batch(msr, stripes, max_workers=4)
+        jobs = [
+            (j % msr.n, {i: cw[i] for i in range(msr.n) if i != j % msr.n})
+            for j, cw in enumerate(coded)
+        ]
+        results = repair_batch(msr, jobs, max_workers=4)
+        for (failed, _), cw, res in zip(jobs, coded, results):
+            assert np.array_equal(res.block, cw[failed])
+
+    def test_concurrent_decode_plan_cache_is_safe(self, rs):
+        """Many threads hitting the same erasure pattern simultaneously."""
+        rng = np.random.default_rng(5)
+        fresh = ReedSolomonCode(6, 3)  # cold cache
+        stripes = make_stripes(rng, fresh, 16)
+        coded = encode_batch(fresh, stripes, max_workers=8)
+        maps = [{i: cw[i] for i in range(3, 9)} for cw in coded]  # same pattern
+        out = decode_batch(fresh, maps, max_workers=8)
+        for cw, rec in zip(coded, out):
+            assert np.array_equal(rec, cw)

@@ -1,0 +1,103 @@
+"""Tests for the EVENODD array code."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import EvenOddCode, ParameterError
+
+
+def make_data(rng, p, blocks=4):
+    return rng.integers(0, 256, (p, (p - 1) * blocks), dtype=np.uint8)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_layout(self, p):
+        eo = EvenOddCode(p)
+        assert eo.n == p + 2
+        assert eo.k == p
+        assert eo.subpacketization == p - 1
+        assert eo.fault_tolerance == 2
+
+    @pytest.mark.parametrize("p", [4, 6, 8, 9, 1])
+    def test_non_prime_rejected(self, p):
+        with pytest.raises(ParameterError):
+            EvenOddCode(p)
+
+
+class TestParityStructure:
+    def test_horizontal_parity_is_row_xor(self):
+        rng = np.random.default_rng(0)
+        p = 5
+        eo = EvenOddCode(p)
+        data = make_data(rng, p, blocks=1)
+        coded = eo.encode(data)
+        expect = np.zeros_like(data[0])
+        for i in range(p):
+            expect ^= data[i]
+        assert np.array_equal(coded[p], expect)
+
+    def test_diagonal_parity_reference(self):
+        """Check the Q column against a direct transcription of Blaum et al."""
+        rng = np.random.default_rng(1)
+        p = 5
+        eo = EvenOddCode(p)
+        data = make_data(rng, p, blocks=1)
+        coded = eo.encode(data)
+        d = data.reshape(p, p - 1, 1)  # symbol (i, t) is one byte here
+        s = np.zeros(1, dtype=np.uint8)
+        for i in range(1, p):
+            s = s ^ d[i, p - 1 - i]
+        for t in range(p - 1):
+            q = s.copy()
+            for i in range(p):
+                tp = (t - i) % p
+                if tp <= p - 2:
+                    q = q ^ d[i, tp]
+            assert np.array_equal(coded[p + 1].reshape(p - 1, 1)[t], q)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_all_double_erasures(self, p):
+        rng = np.random.default_rng(p)
+        eo = EvenOddCode(p)
+        data = make_data(rng, p, blocks=2)
+        coded = eo.encode(data)
+        for erased in itertools.combinations(range(p + 2), 2):
+            shards = {i: coded[i] for i in range(p + 2) if i not in erased}
+            assert np.array_equal(eo.decode(shards), coded), erased
+
+
+class TestRepair:
+    def test_data_repair_uses_row_parity(self):
+        rng = np.random.default_rng(2)
+        eo = EvenOddCode(5)
+        coded = eo.encode(make_data(rng, 5))
+        res = eo.repair(2, {i: coded[i] for i in range(7) if i != 2})
+        assert np.array_equal(res.block, coded[2])
+        assert set(res.bytes_read) == {0, 1, 3, 4, 5}  # other data + P, not Q
+
+    def test_q_repair_reads_data(self):
+        rng = np.random.default_rng(3)
+        eo = EvenOddCode(5)
+        coded = eo.encode(make_data(rng, 5))
+        res = eo.repair(6, {i: coded[i] for i in range(6)})
+        assert np.array_equal(res.block, coded[6])
+        assert set(res.bytes_read) == set(range(5))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.sampled_from([3, 5]))
+def test_prop_double_erasure_roundtrip(seed, p):
+    rng = np.random.default_rng(seed)
+    eo = EvenOddCode(p)
+    data = rng.integers(0, 256, (p, (p - 1) * 2), dtype=np.uint8)
+    coded = eo.encode(data)
+    erased = rng.choice(p + 2, size=2, replace=False)
+    shards = {i: coded[i] for i in range(p + 2) if i not in erased}
+    assert np.array_equal(eo.decode(shards), coded)

@@ -1,0 +1,57 @@
+"""RS over non-default field widths GF(2^4) and GF(2^16)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import ParameterError, ReedSolomonCode
+from repro.gf import GF
+
+
+class TestGF16RS:
+    def test_small_field_supports_small_codes(self):
+        rs = ReedSolomonCode(4, 2, w=4)
+        rng = np.random.default_rng(0)
+        # elements of GF(2^4) are 0..15; blocks still use uint8 storage
+        data = rng.integers(0, 16, (4, 32), dtype=np.uint8)
+        coded = rs.encode(data)
+        for erased in itertools.combinations(range(6), 2):
+            shards = {i: coded[i] for i in range(6) if i not in erased}
+            assert np.array_equal(rs.decode(shards), coded), erased
+
+    def test_small_field_rejects_wide_codes(self):
+        with pytest.raises(ParameterError):
+            ReedSolomonCode(14, 3, w=4)  # 17 > 16 elements
+
+
+class TestGF65536RS:
+    def test_wide_code_constructs(self):
+        """GF(2^16) admits stripes far wider than GF(256)."""
+        rs = ReedSolomonCode(300, 4, w=16)
+        assert rs.n == 304
+        assert rs.parity_matrix.dtype == GF.get(16).dtype
+
+    def test_roundtrip_uint16_symbols(self):
+        rs = ReedSolomonCode(6, 3, w=16)
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 1 << 16, (6, 16)).astype(GF.get(16).dtype)
+        coded = rs.encode(data)
+        assert coded.dtype == GF.get(16).dtype
+        assert np.array_equal(coded[:6], data)  # no truncation
+        shards = {i: coded[i] for i in range(9) if i not in (0, 3, 8)}
+        assert np.array_equal(rs.decode(shards), coded)
+
+    def test_repair_wide_field(self):
+        rs = ReedSolomonCode(5, 2, w=16)
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 1 << 16, (5, 8)).astype(GF.get(16).dtype)
+        coded = rs.encode(data)
+        res = rs.repair(3, {i: coded[i] for i in range(7) if i != 3})
+        assert np.array_equal(res.block, coded[3])
+
+    def test_wide_data_rejected_by_narrow_code(self):
+        rs = ReedSolomonCode(4, 2, w=8)
+        data = np.zeros((4, 8), dtype=np.uint16)
+        with pytest.raises(ValueError):
+            rs.encode(data)

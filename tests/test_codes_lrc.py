@@ -1,0 +1,156 @@
+"""Tests for the Local Reconstruction Code."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import LocalReconstructionCode, ParameterError, UnrecoverableError
+
+
+def make_data(rng, k, L=32):
+    return rng.integers(0, 256, (k, L), dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_layout(self):
+        lrc = LocalReconstructionCode(8, 2, 2)
+        assert lrc.n == 12
+        assert lrc.k == 8
+        assert list(lrc.local_parity_nodes) == [8, 9]
+        assert list(lrc.global_parity_nodes) == [10, 11]
+        assert lrc.group_size == 4
+        assert lrc.name == "LRC(8,2,2)"
+        assert lrc.storage_overhead == pytest.approx(12 / 8)
+
+    def test_group_assignment(self):
+        lrc = LocalReconstructionCode(8, 2, 2)
+        assert lrc.group_of(0) == 0
+        assert lrc.group_of(3) == 0
+        assert lrc.group_of(4) == 1
+        assert lrc.group_members(1) == [4, 5, 6, 7]
+
+    def test_group_of_rejects_parity(self):
+        lrc = LocalReconstructionCode(8, 2, 2)
+        with pytest.raises(ValueError):
+            lrc.group_of(8)
+
+    def test_z_must_divide_k(self):
+        with pytest.raises(ParameterError):
+            LocalReconstructionCode(8, 2, 3)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ParameterError):
+            LocalReconstructionCode(0, 2, 2)
+
+    @pytest.mark.parametrize("k,r,z", [(4, 2, 2), (6, 2, 2), (8, 2, 2), (8, 2, 4)])
+    def test_fault_tolerance_is_r_plus_one(self, k, r, z):
+        """Azure-style LRC tolerates r+1 arbitrary failures."""
+        lrc = LocalReconstructionCode(k, r, z)
+        assert lrc.fault_tolerance == r + 1
+
+
+class TestEncode:
+    def test_local_parity_is_group_xor(self):
+        rng = np.random.default_rng(0)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        data = make_data(rng, 8)
+        coded = lrc.encode(data)
+        group0 = data[0] ^ data[1] ^ data[2] ^ data[3]
+        group1 = data[4] ^ data[5] ^ data[6] ^ data[7]
+        assert np.array_equal(coded[8], group0)
+        assert np.array_equal(coded[9], group1)
+
+    def test_global_parity_matches_rs(self):
+        from repro.codes import ReedSolomonCode
+
+        rng = np.random.default_rng(1)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        rs = ReedSolomonCode(8, 2)
+        data = make_data(rng, 8)
+        assert np.array_equal(lrc.encode(data)[10:], rs.encode(data)[8:])
+
+
+class TestDecode:
+    def test_all_single_and_double_failures(self):
+        rng = np.random.default_rng(2)
+        lrc = LocalReconstructionCode(4, 2, 2)
+        data = make_data(rng, 4)
+        coded = lrc.encode(data)
+        for t in (1, 2, 3):
+            for erased in itertools.combinations(range(lrc.n), t):
+                shards = {i: coded[i] for i in range(lrc.n) if i not in erased}
+                assert np.array_equal(lrc.decode(shards), coded), erased
+
+    def test_some_four_failures_unrecoverable(self):
+        """LRC is not MDS: losing a whole group + its parity + a global is fatal."""
+        rng = np.random.default_rng(3)
+        lrc = LocalReconstructionCode(4, 2, 2)
+        coded = lrc.encode(make_data(rng, 4))
+        # group 0 = data {0,1}, local parity 4; globals 6,7
+        erased = {0, 1, 4, 6}
+        shards = {i: coded[i] for i in range(lrc.n) if i not in erased}
+        if lrc.is_decodable(list(shards)):
+            pytest.skip("this particular pattern happened to be recoverable")
+        with pytest.raises(UnrecoverableError):
+            lrc.decode(shards)
+
+
+class TestRepair:
+    def test_data_repair_reads_only_local_group(self):
+        rng = np.random.default_rng(4)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        coded = lrc.encode(make_data(rng, 8))
+        res = lrc.repair(5, {i: coded[i] for i in range(12) if i != 5})
+        assert np.array_equal(res.block, coded[5])
+        assert set(res.bytes_read) == {4, 6, 7, 9}  # group peers + local parity
+        assert res.total_bytes_read == 4 * 32
+
+    def test_local_parity_repair(self):
+        rng = np.random.default_rng(5)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        coded = lrc.encode(make_data(rng, 8))
+        res = lrc.repair(8, {i: coded[i] for i in range(12) if i != 8})
+        assert np.array_equal(res.block, coded[8])
+        assert set(res.bytes_read) == {0, 1, 2, 3}
+
+    def test_global_parity_repair_reads_all_data(self):
+        rng = np.random.default_rng(6)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        coded = lrc.encode(make_data(rng, 8))
+        res = lrc.repair(10, {i: coded[i] for i in range(12) if i != 10})
+        assert np.array_equal(res.block, coded[10])
+        assert set(res.bytes_read) == set(range(8))
+
+    def test_repair_fallback_when_group_unavailable(self):
+        """If a group peer is also missing, repair degrades to full decode."""
+        rng = np.random.default_rng(7)
+        lrc = LocalReconstructionCode(8, 2, 2)
+        coded = lrc.encode(make_data(rng, 8))
+        shards = {i: coded[i] for i in range(12) if i not in (5, 6)}
+        res = lrc.repair(5, shards)
+        assert np.array_equal(res.block, coded[5])
+
+    def test_repair_plan_fractions(self):
+        lrc = LocalReconstructionCode(8, 2, 2)
+        assert set(lrc.repair_read_fractions(0)) == {1, 2, 3, 8}
+        assert set(lrc.repair_read_fractions(9)) == {4, 5, 6, 7}
+        assert set(lrc.repair_read_fractions(11)) == set(range(8))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.sampled_from([(4, 2, 2), (6, 2, 2), (8, 2, 2), (8, 2, 4)]),
+)
+def test_prop_single_failure_local_repair(seed, params):
+    k, r, z = params
+    rng = np.random.default_rng(seed)
+    lrc = LocalReconstructionCode(k, r, z)
+    data = rng.integers(0, 256, (k, 16), dtype=np.uint8)
+    coded = lrc.encode(data)
+    f = int(rng.integers(0, lrc.n))
+    res = lrc.repair(f, {i: coded[i] for i in range(lrc.n) if i != f})
+    assert np.array_equal(res.block, coded[f])

@@ -1,0 +1,284 @@
+"""Tests for the coupled-layer MSR code — MDS + optimal repair bandwidth."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import MSRCode, ParameterError, UnrecoverableError
+
+
+def make_code(n, k, **kw):
+    return MSRCode(n, k, verify=kw.pop("verify", "full"), **kw)
+
+
+def make_data(rng, code, blocks=4):
+    L = code.subpacketization * blocks
+    return rng.integers(0, 256, (code.k, L), dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_paper_configuration(self):
+        """MSR(2r, r, r, r²) with r=3 — the EC-Fusion building block."""
+        msr = make_code(6, 3)
+        assert (msr.n, msr.k, msr.r) == (6, 3, 3)
+        assert msr.s == 3 and msr.m == 2
+        assert msr.subpacketization == 9  # l = r²
+        assert msr.fault_tolerance == 3
+        assert msr.name == "MSR(6,3,3,9)"
+
+    def test_generator_shape_and_systematic(self):
+        msr = make_code(4, 2)
+        l = msr.subpacketization
+        assert msr.generator.shape == (4 * l, 2 * l)
+        assert np.array_equal(msr.generator[: 2 * l], np.eye(2 * l, dtype=np.uint8))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (6, 4), (8, 6)])
+    def test_valid_parameter_grid(self, n, k):
+        msr = make_code(n, k)
+        r = n - k
+        assert msr.subpacketization == r ** (n // r)
+
+    def test_r_must_divide_n(self):
+        with pytest.raises(ParameterError):
+            MSRCode(7, 4)
+
+    def test_indivisible_n_rejected(self):
+        with pytest.raises(ParameterError):
+            MSRCode(3, 1)  # r=2 does not divide n=3
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ParameterError):
+            MSRCode(4, 2, gamma=1)
+
+    def test_bad_verify_policy(self):
+        with pytest.raises(ParameterError):
+            MSRCode(4, 2, verify="everything")
+
+
+class TestPlaneGeometry:
+    def test_digits_roundtrip(self):
+        msr = make_code(6, 3)
+        for z in range(msr.subpacketization):
+            digits = [msr._digit(z, y) for y in range(msr.m)]
+            rebuilt = sum(d * msr.s**y for y, d in enumerate(digits))
+            assert rebuilt == z
+
+    def test_partner_is_involution(self):
+        msr = make_code(6, 3)
+        for i in range(msr.n):
+            for z in range(msr.subpacketization):
+                part = msr._partner(i, z)
+                if part is None:
+                    x, y = msr._coords(i)
+                    assert msr._digit(z, y) == x
+                else:
+                    j, z2 = part
+                    assert msr._partner(j, z2) == (i, z)
+
+    def test_repair_planes_count(self):
+        msr = make_code(6, 3)
+        for f in range(6):
+            planes = msr.repair_planes(f)
+            assert len(planes) == msr.subpacketization // msr.s
+
+
+class TestEncodeDecode:
+    def test_systematic(self):
+        rng = np.random.default_rng(0)
+        msr = make_code(4, 2)
+        data = make_data(rng, msr)
+        coded = msr.encode(data)
+        assert np.array_equal(coded[:2], data)
+
+    def test_mds_all_erasure_patterns(self):
+        """Any r losses are decodable, any k survivors suffice."""
+        rng = np.random.default_rng(1)
+        msr = make_code(6, 3)
+        data = make_data(rng, msr, blocks=2)
+        coded = msr.encode(data)
+        for erased in itertools.combinations(range(6), 3):
+            shards = {i: coded[i] for i in range(6) if i not in erased}
+            assert np.array_equal(msr.decode(shards), coded), erased
+
+    def test_partial_erasures_decodable(self):
+        rng = np.random.default_rng(2)
+        msr = make_code(6, 3)
+        coded = msr.encode(make_data(rng, msr))
+        shards = {i: coded[i] for i in range(6) if i != 4}
+        assert np.array_equal(msr.decode(shards), coded)
+
+    def test_too_many_erasures_raise(self):
+        rng = np.random.default_rng(3)
+        msr = make_code(4, 2)
+        coded = msr.encode(make_data(rng, msr))
+        with pytest.raises(UnrecoverableError):
+            msr.decode({0: coded[0]})
+
+    def test_block_length_must_be_multiple_of_l(self):
+        msr = make_code(4, 2)
+        with pytest.raises(ValueError):
+            msr.encode(np.zeros((2, 7), dtype=np.uint8))
+
+    def test_encode_linear(self):
+        rng = np.random.default_rng(4)
+        msr = make_code(4, 2)
+        a, b = make_data(rng, msr), make_data(rng, msr)
+        assert np.array_equal(msr.encode(a ^ b), msr.encode(a) ^ msr.encode(b))
+
+
+class TestOptimalRepair:
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 3), (6, 4)])
+    def test_repair_every_node_correct(self, n, k):
+        rng = np.random.default_rng(n * 10 + k)
+        msr = make_code(n, k)
+        coded = msr.encode(make_data(rng, msr, blocks=3))
+        for f in range(n):
+            res = msr.repair(f, {i: coded[i] for i in range(n) if i != f})
+            assert np.array_equal(res.block, coded[f]), f"repair of node {f} wrong"
+
+    def test_repair_bandwidth_is_optimal(self):
+        """Each helper contributes exactly 1/s of a block: (n−1)/r total."""
+        rng = np.random.default_rng(5)
+        msr = make_code(6, 3)
+        L = msr.subpacketization * 8
+        coded = msr.encode(rng.integers(0, 256, (3, L), dtype=np.uint8))
+        res = msr.repair(0, {i: coded[i] for i in range(1, 6)})
+        assert set(res.bytes_read) == set(range(1, 6))
+        for b in res.bytes_read.values():
+            assert b == L // msr.s
+        naive = msr.k * L
+        assert res.total_bytes_read == (msr.n - 1) * L // msr.s
+        assert res.total_bytes_read < naive
+
+    def test_repair_read_fractions_plan(self):
+        msr = make_code(6, 3)
+        plan = msr.repair_read_fractions(2)
+        assert set(plan) == {0, 1, 3, 4, 5}
+        assert all(v == pytest.approx(1 / 3) for v in plan.values())
+
+    def test_repair_with_missing_helper_falls_back(self):
+        """With n−2 survivors the optimal path is impossible; decode instead."""
+        rng = np.random.default_rng(6)
+        msr = make_code(6, 3)
+        coded = msr.encode(make_data(rng, msr))
+        shards = {i: coded[i] for i in (1, 2, 3, 4)}  # nodes 0 and 5 gone
+        res = msr.repair(0, shards)
+        assert np.array_equal(res.block, coded[0])
+
+    def test_repair_rejects_present_node(self):
+        rng = np.random.default_rng(7)
+        msr = make_code(4, 2)
+        coded = msr.encode(make_data(rng, msr))
+        with pytest.raises(ValueError):
+            msr.repair(1, {i: coded[i] for i in range(4)})
+
+    def test_repair_block_length_validation(self):
+        msr = make_code(4, 2)
+        bad = {i: np.zeros(7, dtype=np.uint8) for i in range(1, 4)}
+        with pytest.raises(ValueError):
+            msr.repair(0, bad)
+
+
+class TestDecodeFromParitiesOnly:
+    def test_k_equals_r_configuration(self):
+        """MSR(2r, r): parities alone rebuild all data (used by msr_to_rs)."""
+        rng = np.random.default_rng(8)
+        msr = make_code(6, 3)
+        data = make_data(rng, msr)
+        coded = msr.encode(data)
+        shards = {i: coded[i] for i in range(3, 6)}
+        rec = msr.decode(shards)
+        assert np.array_equal(rec[:3], data)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_prop_repair_equals_erased_block(seed):
+    rng = np.random.default_rng(seed)
+    msr = MSRCode(4, 2, verify="off")
+    L = msr.subpacketization * int(rng.integers(1, 5))
+    data = rng.integers(0, 256, (2, L), dtype=np.uint8)
+    coded = msr.encode(data)
+    f = int(rng.integers(0, 4))
+    res = msr.repair(f, {i: coded[i] for i in range(4) if i != f})
+    assert np.array_equal(res.block, coded[f])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_prop_decode_any_k_subset(seed):
+    rng = np.random.default_rng(seed)
+    msr = MSRCode(6, 3, verify="off")
+    data = rng.integers(0, 256, (3, msr.subpacketization), dtype=np.uint8)
+    coded = msr.encode(data)
+    keep = sorted(rng.choice(6, size=3, replace=False))
+    rec = msr.decode({i: coded[i] for i in keep})
+    assert np.array_equal(rec, coded)
+
+
+class TestPaperBaselineConfigs:
+    """The IH-EC baseline shapes of §IV-B: MSR(k+3, k, 3, l)."""
+
+    def test_msr_9_6_paper_config(self):
+        """k=6: MSR(9,6,3,27) — no virtual node needed."""
+        msr = MSRCode(9, 6, verify="sample")
+        assert msr.subpacketization == 27
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (6, 27), dtype=np.uint8)
+        coded = msr.encode(data)
+        res = msr.repair(4, {i: coded[i] for i in range(9) if i != 4})
+        assert np.array_equal(res.block, coded[4])
+        # optimal bandwidth: (n-1)/r blocks vs k
+        assert res.total_bytes_read * 3 == 8 * coded.shape[1]
+
+    def test_sampled_verification_policy(self):
+        """comb(9,3) = 84 > 60 -> 'auto' falls back to sampling."""
+        msr = MSRCode(9, 6, verify="auto")
+        assert msr.gamma >= 2  # a verified coupling coefficient was chosen
+
+
+class TestConstraintInvariants:
+    """Direct algebraic checks on the coupled construction."""
+
+    def test_every_codeword_in_constraint_nullspace(self):
+        """A @ c = 0 for the constraint matrix A and any codeword c."""
+        from repro.gf import mat_vec
+
+        msr = make_code(6, 3)
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 256, (3, msr.subpacketization), dtype=np.uint8)
+        coded = msr.encode(data)
+        flat = coded.reshape(-1)  # symbol layout: node*l + plane
+        assert not mat_vec(msr._constraints, flat).any()
+
+    def test_uncoupled_planes_are_scalar_codewords(self):
+        """Undo the pairwise coupling by hand; each plane must satisfy H_s."""
+        from repro.gf import GF, inverse, mat_vec
+
+        msr = make_code(6, 3)
+        gf = GF.get(8)
+        rng = np.random.default_rng(10)
+        data = rng.integers(0, 256, (3, msr.subpacketization), dtype=np.uint8)
+        coded = msr.encode(data)
+        l = msr.subpacketization
+        c = coded.reshape(msr.n, l)
+        _, Minv = msr._coupling_coeffs(msr.gamma)
+        u = np.zeros_like(c)
+        for i in range(msr.n):
+            for z in range(l):
+                part = msr._partner(i, z)
+                if part is None:
+                    u[i, z] = c[i, z]
+                else:
+                    j, z2 = part
+                    xi, _ = msr._coords(i)
+                    xj, _ = msr._coords(j)
+                    row = Minv[0] if xi < xj else Minv[1]
+                    a, b = (c[i, z], c[j, z2]) if xi < xj else (c[j, z2], c[i, z])
+                    u[i, z] = int(gf.add(gf.mul(int(row[0]), int(a)),
+                                         gf.mul(int(row[1]), int(b))))
+        for z in range(l):
+            assert not mat_vec(msr.h_scalar, u[:, z]).any(), z

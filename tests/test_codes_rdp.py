@@ -1,0 +1,100 @@
+"""Tests for the RDP array code."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ParameterError, RDPCode
+
+
+def make_data(rng, code, blocks=2):
+    return rng.integers(0, 256, (code.k, code.subpacketization * blocks), dtype=np.uint8)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_layout(self, p):
+        rdp = RDPCode(p)
+        assert rdp.n == p + 1
+        assert rdp.k == p - 1
+        assert rdp.subpacketization == p - 1
+        assert rdp.fault_tolerance == 2
+
+    @pytest.mark.parametrize("p", [1, 4, 6, 9])
+    def test_non_prime_rejected(self, p):
+        with pytest.raises(ParameterError):
+            RDPCode(p)
+
+
+class TestParityStructure:
+    def test_row_parity(self):
+        rng = np.random.default_rng(0)
+        rdp = RDPCode(5)
+        data = make_data(rng, rdp, blocks=1)
+        coded = rdp.encode(data)
+        expect = np.zeros_like(data[0])
+        for row in data:
+            expect ^= row
+        assert np.array_equal(coded[4], expect)
+
+    def test_diagonal_parity_covers_row_parity_column(self):
+        """RDP's defining property: Q diagonals include the P column, so the
+        XOR of all Q symbols differs from EVENODD-style data-only diagonals."""
+        rng = np.random.default_rng(1)
+        p = 5
+        rdp = RDPCode(p)
+        data = make_data(rng, rdp, blocks=1)
+        coded = rdp.encode(data)
+        l = p - 1
+        cells = coded[: p].reshape(p, l, -1)  # data columns + row parity
+        for t in range(l):
+            q = np.zeros_like(cells[0, 0])
+            for col in range(p):
+                tp = (t - col) % p
+                if tp <= p - 2:
+                    q ^= cells[col, tp]
+            assert np.array_equal(coded[p].reshape(l, -1)[t], q)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_all_double_erasures(self, p):
+        rng = np.random.default_rng(p)
+        rdp = RDPCode(p)
+        data = make_data(rng, rdp)
+        coded = rdp.encode(data)
+        for erased in itertools.combinations(range(p + 1), 2):
+            shards = {i: coded[i] for i in range(p + 1) if i not in erased}
+            assert np.array_equal(rdp.decode(shards), coded), erased
+
+
+class TestRepair:
+    def test_data_repair_via_row_parity(self):
+        rng = np.random.default_rng(2)
+        rdp = RDPCode(5)
+        coded = rdp.encode(make_data(rng, rdp))
+        res = rdp.repair(1, {i: coded[i] for i in range(6) if i != 1})
+        assert np.array_equal(res.block, coded[1])
+        assert set(res.bytes_read) == {0, 2, 3, 4}  # other data + row parity
+
+    def test_diagonal_parity_repair(self):
+        rng = np.random.default_rng(3)
+        rdp = RDPCode(5)
+        coded = rdp.encode(make_data(rng, rdp))
+        res = rdp.repair(5, {i: coded[i] for i in range(5)})
+        assert np.array_equal(res.block, coded[5])
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1), p=st.sampled_from([3, 5]))
+def test_prop_double_erasure_roundtrip(seed, p):
+    rng = np.random.default_rng(seed)
+    rdp = RDPCode(p)
+    data = rng.integers(0, 256, (p - 1, (p - 1) * 2), dtype=np.uint8)
+    coded = rdp.encode(data)
+    erased = rng.choice(p + 1, size=2, replace=False)
+    shards = {i: coded[i] for i in range(p + 1) if i not in erased}
+    assert np.array_equal(rdp.decode(shards), coded)

@@ -1,0 +1,119 @@
+"""Tests for degraded reads: serving reads of currently-lost chunks."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_workload
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import ECFusionPlanner, LRCPlanner, MSRPlanner, PlanKind, RSPlanner
+from repro.workloads import FailureEvent, OpType, Request, Trace
+
+GAMMA = 1024.0 * 1024
+
+
+def config():
+    return ClusterConfig(num_nodes=18, profile=SystemProfile(gamma=GAMMA))
+
+
+class TestDegradedReadPlans:
+    def test_rs_degraded_read_has_no_writes(self):
+        rs = RSPlanner(8, 3, GAMMA)
+        plans = rs.plan_degraded_read("s", 2)
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.kind is PlanKind.RECOVERY
+        assert plan.writes == {}
+        assert len(plan.reads) == 8  # same read set as a real repair
+
+    def test_msr_degraded_read_fractional_reads(self):
+        msr = MSRPlanner(6, 3, GAMMA)
+        (plan,) = msr.plan_degraded_read("s", 0)
+        assert plan.writes == {}
+        assert all(v == GAMMA / 3 for v in plan.reads.values())
+
+    def test_lrc_degraded_read_local(self):
+        lrc = LRCPlanner(8, 2, 2, GAMMA)
+        (plan,) = lrc.plan_degraded_read("s", 0)
+        assert plan.writes == {}
+        assert len(plan.reads) == 4
+
+    def test_fusion_degraded_read_counts_as_recovery(self):
+        """A degraded read feeds Queue2 like any reconstruction."""
+        p = ECFusionPlanner(8, 3, GAMMA, profile=SystemProfile(gamma=GAMMA))
+        p.plan_write("s")
+        before = p.selector.queue2.total_hits
+        p.plan_degraded_read("s", 0)
+        assert p.selector.queue2.total_hits == before + 1
+
+
+class TestDegradedReadsInWorkload:
+    def make_trace(self, n_reads=6):
+        return Trace(
+            name="t",
+            requests=[
+                Request(time=float(i), op=OpType.READ, stripe=0, block=0)
+                for i in range(n_reads)
+            ],
+        )
+
+    def test_reads_of_failed_block_are_degraded(self):
+        """A failure early in the stream turns later reads into degraded
+        reads until the repair completes."""
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = self.make_trace(10)
+        fails = [FailureEvent(time=0.0, stripe=0, block=0)]
+        res = run_workload(scheme, trace, fails, config())
+        assert res.degraded_reads >= 1
+        assert len(res.read_latencies) == 10  # degraded reads are still reads
+
+    def test_degraded_reads_cost_more_than_normal(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = self.make_trace(10)
+        clean = run_workload(scheme, trace, [], config())
+        degraded = run_workload(
+            scheme, trace, [FailureEvent(0.0, 0, 0)], config()
+        )
+        assert degraded.epsilon1 > clean.epsilon1
+
+    def test_no_degraded_reads_for_other_blocks(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = Trace(
+            name="t",
+            requests=[
+                Request(time=float(i), op=OpType.READ, stripe=0, block=1)
+                for i in range(6)
+            ],
+        )
+        res = run_workload(scheme, trace, [FailureEvent(0.0, 0, 0)], config())
+        assert res.degraded_reads == 0
+
+    def test_degraded_window_opens_and_closes(self):
+        """Open-mode timing: reads during the failure->repair window are
+        degraded; reads after the repair completes are normal again."""
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = Trace(
+            name="t",
+            requests=[
+                Request(time=0.0, op=OpType.READ, stripe=0, block=0),   # before
+                Request(time=5.01, op=OpType.READ, stripe=0, block=0),  # in window
+                Request(time=8.0, op=OpType.READ, stripe=0, block=0),   # after
+            ],
+        )
+        fails = [FailureEvent(time=5.0, stripe=0, block=0)]
+        res = run_workload(scheme, trace, fails, config(), mode="open")
+        assert res.degraded_reads == 1
+        assert len(res.read_latencies) == 3
+
+    def test_rewrite_clears_failed_state(self):
+        """A full-stripe write re-materialises lost chunks even before the
+        background repair lands."""
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = Trace(
+            name="t",
+            requests=[
+                Request(time=5.01, op=OpType.WRITE, stripe=0, block=0),
+                Request(time=5.02, op=OpType.READ, stripe=0, block=0),
+            ],
+        )
+        fails = [FailureEvent(time=5.0, stripe=0, block=0)]
+        res = run_workload(scheme, trace, fails, config(), mode="open")
+        assert res.degraded_reads == 0

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the first code a user executes; these tests keep them from
+rotting as the API evolves.  Each runs as a subprocess against the
+installed package with a generous timeout.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+ARGS = {"online_recovery.py": ["web1", "120"]}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    cmd = [sys.executable, str(script)] + ARGS.get(script.name, [])
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_example_inventory():
+    """The README's example table and the directory must agree."""
+    readme = (pathlib.Path(__file__).resolve().parent.parent / "README.md").read_text()
+    for script in EXAMPLES:
+        assert script.name in readme, f"{script.name} missing from README"

@@ -1,0 +1,323 @@
+"""Tests for the experiment modules — each figure's shape claims at small scale."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_schemes,
+    fig13_storage,
+    fig14_computation,
+    fig15_transmission,
+    fig16_application,
+    fig17_recovery,
+    fig18_overall,
+    fig19_cost_effective,
+    format_table,
+    run_campaign,
+    table7_summary,
+)
+
+# One small campaign shared by every simulation-backed test in this module.
+SMALL = ExperimentConfig(num_requests=150, num_stripes=24, failure_rate=0.12)
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(SMALL)
+
+
+class TestRunnerPlumbing:
+    def test_build_schemes_names(self):
+        schemes = build_schemes(SMALL)
+        assert set(schemes) == {"RS", "MSR", "LRC", "HACFS", "EC-Fusion"}
+
+    def test_fresh_instances_each_call(self):
+        a = build_schemes(SMALL)["EC-Fusion"]
+        b = build_schemes(SMALL)["EC-Fusion"]
+        assert a is not b
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_campaign_memoised(self):
+        assert run_campaign(SMALL) is run_campaign(SMALL)
+        fresh = run_campaign(SMALL, use_cache=False)
+        assert fresh is not run_campaign(SMALL)
+
+
+class TestFig13:
+    def test_series_shapes(self):
+        res = fig13_storage.compute(8)
+        assert set(res.series) == {"rs", "msr", "lrc", "hacfs", "ecfusion"}
+        assert all(len(v) == len(res.h_values) for v in res.series.values())
+
+    def test_paper_claims(self):
+        for k in (6, 8):
+            res = fig13_storage.compute(k)
+            assert res.max_increase_over_rs() <= 0.091 + 1e-6
+            assert res.never_exceeds_lrc_hacfs()
+
+    def test_render_mentions_claims(self):
+        out = fig13_storage.render([fig13_storage.compute(8)])
+        assert "9.1%" in out
+
+
+class TestFig14:
+    @pytest.mark.parametrize("k", [6, 8])
+    def test_fusion_saves_most_of_msr_compute(self, k):
+        res = fig14_computation.compute(k)
+        app_save, rec_save = res.fusion_saving_vs_msr()
+        assert app_save >= 0.963 - 1e-3
+        assert rec_save >= 0.7924 - 1e-3
+
+    def test_fusion_close_to_rs(self):
+        res = fig14_computation.compute(8)
+        assert res.app["ecfusion"] <= res.app["rs"] * 1.05
+
+    def test_render(self):
+        assert "Fig. 14" in fig14_computation.render([fig14_computation.compute(6)])
+
+
+class TestFig15:
+    @pytest.mark.parametrize("k", [6, 8])
+    def test_paper_claims(self, k):
+        res = fig15_transmission.compute(k)
+        assert res.fusion_app_saving_vs_lrc() >= 0.0833 - 1e-6
+        assert res.fusion_rec_saving_vs_hacfs() >= 0.1667 - 1e-4
+
+    def test_recovery_saving_vs_rs_at_k8(self):
+        res = fig15_transmission.compute(8)
+        assert res.fusion_rec_saving_vs_rs() == pytest.approx(0.7917, abs=1e-3)
+
+
+class TestFig16:
+    def test_fusion_tracks_rs(self, campaign):
+        fig = fig16_application.ApplicationFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.fusion_overhead_vs_rs(trace) < 0.05
+
+    def test_fusion_beats_msr_everywhere(self, campaign):
+        fig = fig16_application.ApplicationFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.fusion_improvement_vs("MSR", trace) > 0.3
+
+    def test_msr_gap_largest_on_write_intensive(self, campaign):
+        fig = fig16_application.ApplicationFigure(campaign)
+        assert fig.fusion_improvement_vs("MSR", "rsrch0") > fig.fusion_improvement_vs(
+            "MSR", "mds1"
+        )
+
+
+class TestFig17:
+    def test_fusion_beats_static_codes(self, campaign):
+        fig = fig17_recovery.RecoveryFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.fusion_saving_vs("RS", trace) > 0.3
+            assert fig.fusion_saving_vs("MSR", trace) > 0.3
+            assert fig.fusion_saving_vs("LRC", trace) > 0.1
+
+    def test_msr_baseline_recovery_worse_than_rs(self, campaign):
+        """Big-l MSR decode compute outweighs its bandwidth savings (paper's
+        implicit result: EC-Fusion saves *more* vs MSR than vs RS)."""
+        fig = fig17_recovery.RecoveryFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.epsilon2("MSR", trace) > fig.epsilon2("RS", trace)
+
+
+class TestFig18:
+    def test_fusion_never_loses_overall(self, campaign):
+        fig = fig18_overall.OverallFigure(campaign)
+        for other in ("RS", "MSR", "LRC", "HACFS"):
+            for trace in campaign.traces():
+                assert fig.fusion_improvement_vs(other, trace) > -0.02, (other, trace)
+
+    def test_rs_gain_largest_on_read_dominant(self, campaign):
+        fig = fig18_overall.OverallFigure(campaign)
+        assert fig.fusion_improvement_vs("RS", "mds1") > fig.fusion_improvement_vs(
+            "RS", "rsrch0"
+        )
+
+    def test_conversion_overhead_bounded(self, campaign):
+        fig = fig18_overall.OverallFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.conversion_fraction(trace) < 0.25
+
+
+class TestFig19:
+    def test_fusion_best_zeta_vs_msr_hacfs(self, campaign):
+        fig = fig19_cost_effective.CostEffectiveFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.fusion_gain_vs("MSR", trace) > 0
+            assert fig.fusion_gain_vs("HACFS", trace) > 0
+
+    def test_rho_stays_bounded(self, campaign):
+        fig = fig19_cost_effective.CostEffectiveFigure(campaign)
+        for trace in campaign.traces():
+            assert fig.rho("EC-Fusion", trace) <= 17 / 8 + 1e-9
+
+
+class TestTable7:
+    def test_structure(self):
+        t7 = table7_summary.compute(SMALL, ks=(8,))
+        assert t7.ks == (8,)
+        for baseline in table7_summary.BASELINES:
+            for trace in t7.traces:
+                overall = t7.overall_gain(baseline, 8, trace)
+                zeta = t7.zeta_gain(baseline, 8, trace)
+                assert isinstance(overall, float) and isinstance(zeta, float)
+
+    def test_fusion_dominates_on_overall(self):
+        t7 = table7_summary.compute(SMALL, ks=(8,))
+        for baseline in table7_summary.BASELINES:
+            for trace in t7.traces:
+                assert t7.overall_gain(baseline, 8, trace) > -0.02, (baseline, trace)
+
+    def test_render_contains_all_baselines(self):
+        t7 = table7_summary.compute(SMALL, ks=(8,))
+        out = table7_summary.render(t7)
+        for baseline in table7_summary.BASELINES:
+            assert baseline in out
+
+
+class TestTable4:
+    def test_allocation_matches_paper(self):
+        from repro.experiments import table4_allocation
+
+        result = table4_allocation.compute(k=8)
+        assert result.matches_paper()
+        # the unambiguous cells must be exact
+        assert result.observed["write-intensive / low risk"] == "RS"
+        assert result.observed["read-dominant / high risk"] == "MSR"
+        assert result.observed["read-dominant / low risk"] == "RS"
+        assert result.observed["cold / low risk"] == "RS"
+
+    def test_k6_variant(self):
+        from repro.experiments import table4_allocation
+
+        assert table4_allocation.compute(k=6).matches_paper()
+
+    def test_render_contains_verdict(self):
+        from repro.experiments import table4_allocation
+
+        out = table4_allocation.render(table4_allocation.compute())
+        assert "Table IV" in out
+        assert "True" in out
+
+
+class TestEtaLandscape:
+    def test_gamma_invariance(self):
+        """η is chunk-size independent once setup terms vanish."""
+        from repro.fusion.costmodel import CostModel, SystemProfile
+
+        a = CostModel(8, 3, SystemProfile(gamma=1e6)).eta
+        b = CostModel(8, 3, SystemProfile(gamma=1e9)).eta
+        assert a == pytest.approx(b, rel=1e-3)
+
+    def test_monotone_in_alpha(self):
+        from repro.experiments import eta_landscape
+
+        land = eta_landscape.compute(8)
+        finite = [land.eta(125e6, a) for a in land.alphas]
+        finite = [v for v in finite if v != float("inf")]
+        assert finite == sorted(finite)
+
+    def test_bandwidth_limit_formula(self):
+        from repro.experiments import eta_landscape
+
+        assert eta_landscape.bandwidth_limit_eta(8, 3) == pytest.approx(
+            (8 - 5 / 3) / (2 - 11 / 8)
+        )
+
+    def test_fast_network_kills_msr(self):
+        """100 Gbps + modest CPU: transmission no longer dominates, RS always."""
+        from repro.experiments import eta_landscape
+        from repro.fusion.costmodel import ALWAYS_RS
+
+        land = eta_landscape.compute(8)
+        assert land.eta(100 * 125e6, 1e9) == ALWAYS_RS
+
+
+class TestLifetime:
+    def test_bathtub_phases_validation(self):
+        from repro.workloads import BathtubPhases
+
+        with pytest.raises(ValueError):
+            BathtubPhases(1, 1, 1, -0.1, 0.1, 0.1)
+        ph = BathtubPhases(10, 80, 10, 0.5, 0.01, 0.5)
+        assert ph.horizon == 100
+        assert ph.phase_of(5) == "infancy"
+        assert ph.phase_of(50) == "useful"
+        assert ph.phase_of(95) == "wearout"
+        assert ph.rate_at(5) == 0.5
+        with pytest.raises(ValueError):
+            ph.rate_at(101)
+
+    def test_bathtub_generator_respects_phases(self):
+        from repro.workloads import BathtubPhases, generate_bathtub_failures
+
+        ph = BathtubPhases(100, 800, 100, 0.3, 0.001, 0.3)
+        events = generate_bathtub_failures(ph, 32, 8, seed=1)
+        by_phase = {"infancy": 0, "useful": 0, "wearout": 0}
+        for e in events:
+            by_phase[ph.phase_of(e.time)] += 1
+        assert by_phase["infancy"] > 3 * by_phase["useful"]
+        assert by_phase["wearout"] > 3 * by_phase["useful"]
+
+    def test_zero_rate_generates_nothing(self):
+        from repro.workloads import BathtubPhases, generate_bathtub_failures
+
+        ph = BathtubPhases(10, 10, 10, 0.0, 0.0, 0.0)
+        assert generate_bathtub_failures(ph, 8, 4) == []
+
+    def test_lifetime_verdicts(self):
+        from repro.experiments import lifetime
+
+        result = lifetime.compute()
+        assert result.paper_set_pinned_through_lull()
+        assert result.extension_drains_in_lull()
+
+
+class TestSensitivity:
+    def test_gain_grows_with_failure_weight(self):
+        from repro.experiments import sensitivity
+
+        result = sensitivity.compute(
+            ExperimentConfig(num_requests=150, num_stripes=24),
+            rates=(0.02, 0.1, 0.2),
+        )
+        assert result.gains[0.2] > result.gains[0.02]
+
+    def test_render(self):
+        from repro.experiments import sensitivity
+
+        result = sensitivity.compute(
+            ExperimentConfig(num_requests=100, num_stripes=16), rates=(0.05, 0.15)
+        )
+        out = sensitivity.render(result)
+        assert "break-even" in out
+
+
+class TestRobustness:
+    def test_dominance_across_seeds(self):
+        from repro.experiments import robustness
+
+        result = robustness.compute(
+            ExperimentConfig(num_requests=120, num_stripes=24), seeds=(1, 2)
+        )
+        for baseline in robustness.BASELINES:
+            assert result.always_dominates(baseline), baseline
+
+    def test_statistics(self):
+        from repro.experiments import robustness
+
+        result = robustness.compute(
+            ExperimentConfig(num_requests=100, num_stripes=16), seeds=(3, 4)
+        )
+        for b in robustness.BASELINES:
+            assert result.std_gain(b) >= 0.0
+        out = robustness.render(result)
+        assert "never loses" in out

@@ -1,0 +1,217 @@
+"""Tests for Algorithm 1 — the adaptive selection rules."""
+
+import pytest
+
+from repro.fusion import (
+    AdaptiveSelector,
+    CachePolicy,
+    CodeKind,
+    CostModel,
+    SystemProfile,
+)
+
+
+def make_selector(eta_target="normal", capacity=8, margin=0.0):
+    """Selectors with a known η regime.
+
+    η(4,2) = 1.5 with α pinned to 1e9 — one write + one recovery (δ = 1)
+    flips to MSR; two writes per recovery keeps RS.
+    """
+    cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+    return AdaptiveSelector(cm, queue_capacity=capacity, margin=margin)
+
+
+class TestDefaults:
+    def test_default_code_is_rs(self):
+        sel = make_selector()
+        assert sel.code_of("anything") is CodeKind.RS
+
+    def test_delta_infinite_without_recoveries(self):
+        sel = make_selector()
+        sel.on_write("s")
+        assert sel.delta("s") == float("inf")
+
+    def test_negative_margin_rejected(self):
+        cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+        with pytest.raises(ValueError):
+            AdaptiveSelector(cm, margin=-1)
+
+
+class TestTrigger1RecoveryInsert:
+    def test_recovery_flips_cold_stripe_to_msr(self):
+        sel = make_selector()
+        out = sel.on_recovery("s")  # δ = 0/1 = 0 < η
+        assert [c.target for c in out] == [CodeKind.MSR]
+        assert out[0].trigger == "recovery-insert"
+        assert sel.code_of("s") is CodeKind.MSR
+
+    def test_no_flip_when_writes_dominate(self):
+        sel = make_selector()
+        for _ in range(10):
+            sel.on_write("s")
+        out = sel.on_recovery("s")  # δ = 10 > η
+        assert out == []
+        assert sel.code_of("s") is CodeKind.RS
+
+    def test_already_msr_is_noop(self):
+        sel = make_selector()
+        sel.on_recovery("s")
+        out = sel.on_recovery("s")
+        assert all(c.stripe != "s" or c.target is not CodeKind.MSR for c in out)
+
+
+class TestTrigger2WriteInsert:
+    def test_write_flips_msr_back_to_rs(self):
+        sel = make_selector()
+        sel.on_recovery("s")  # now MSR, δ=0
+        outs = []
+        for _ in range(5):
+            outs += sel.on_write("s")
+        # δ grows: 1, 2, ... crosses η=1.5 at the second write
+        assert any(c.target is CodeKind.RS for c in outs)
+        assert sel.code_of("s") is CodeKind.RS
+
+    def test_write_below_eta_keeps_msr(self):
+        sel = make_selector()
+        sel.on_recovery("s")
+        out = sel.on_write("s")  # δ = 1 < 1.5
+        assert out == []
+        assert sel.code_of("s") is CodeKind.MSR
+
+    def test_reads_never_convert(self):
+        sel = make_selector()
+        sel.on_recovery("s")
+        for _ in range(20):
+            assert sel.on_read("s") == []
+        assert sel.code_of("s") is CodeKind.MSR
+
+
+class TestTrigger3QueueEviction:
+    def test_cooled_msr_stripe_reverts_on_eviction(self):
+        sel = make_selector(capacity=2)
+        sel.on_recovery("old")  # -> MSR
+        sel.on_recovery("mid")
+        out = sel.on_recovery("new")  # evicts "old" from Queue2
+        evict_convs = [c for c in out if c.trigger == "queue2-evict"]
+        assert [c.stripe for c in evict_convs] == ["old"]
+        assert sel.code_of("old") is CodeKind.RS
+
+    def test_eviction_of_rs_stripe_is_silent(self):
+        sel = make_selector(capacity=1)
+        for _ in range(10):
+            sel.on_write("w")  # keep δ high so "w" stays RS
+        sel.on_recovery("w")  # RS stays
+        out = sel.on_recovery("other")  # evicts "w"
+        assert all(c.stripe != "w" for c in out)
+
+
+class TestHysteresis:
+    def test_margin_prevents_thrash(self):
+        cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+        sel = AdaptiveSelector(cm, queue_capacity=8, margin=cm.eta * 0.9)
+        # Alternate writes/recoveries around δ ≈ η: without margin this
+        # would ping-pong; with a wide band nothing converts after the
+        # initial cold flip.
+        sel.on_recovery("s")  # δ=0 ≤ η−Δ still triggers (0 below band)
+        start = len(sel.conversions)
+        for _ in range(6):
+            sel.on_write("s")
+            sel.on_recovery("s")
+        # δ oscillates around 1.0-1.5; band is (0.15, 2.85): no conversions
+        assert len(sel.conversions) == start
+
+    def test_zero_margin_thrashes(self):
+        cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+        sel = AdaptiveSelector(cm, queue_capacity=8, margin=0.0)
+        sel.on_recovery("s")
+        start = len(sel.conversions)
+        for _ in range(4):
+            sel.on_write("s")
+            sel.on_write("s")  # δ rises above 1.5 -> RS
+            sel.on_recovery("s")
+            sel.on_recovery("s")
+            sel.on_recovery("s")  # δ falls below 1.5 -> MSR
+        assert len(sel.conversions) > start
+
+
+class TestStats:
+    def test_stats_counts(self):
+        sel = make_selector(capacity=2)
+        sel.on_recovery("a")
+        sel.on_recovery("b")
+        sel.on_recovery("c")  # evicts a -> to_rs
+        s = sel.stats()
+        assert s["to_msr"] == 3
+        assert s["to_rs"] == 1
+        assert s["conversions"] == 4
+        assert 0 <= s["msr_fraction"] <= 1
+
+    def test_msr_fraction_empty(self):
+        sel = make_selector()
+        assert sel.msr_fraction == 0.0
+
+    def test_lfu_policy_accepted(self):
+        cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+        sel = AdaptiveSelector(cm, queue_capacity=4, policy=CachePolicy.LFU)
+        sel.on_recovery("s")
+        assert sel.code_of("s") is CodeKind.MSR
+
+
+class TestIdleExpiry:
+    """The idle-window extension: lulls drain the MSR set (beyond the paper)."""
+
+    def make(self, idle_window):
+        cm = CostModel(4, 2, SystemProfile(alpha=1e9))
+        return AdaptiveSelector(cm, queue_capacity=8, idle_window=idle_window)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(0)
+
+    def test_quiet_period_expires_msr_stripes(self):
+        sel = self.make(idle_window=5)
+        sel.on_recovery("s")  # -> MSR
+        assert sel.code_of("s") is CodeKind.MSR
+        outs = []
+        for _ in range(8):  # a failure lull: only reads elsewhere
+            outs += sel.on_read("other")
+        expiries = [c for c in outs if c.trigger == "idle-expiry"]
+        assert [c.stripe for c in expiries] == ["s"]
+        assert sel.code_of("s") is CodeKind.RS
+
+    def test_recent_touch_defers_expiry(self):
+        sel = self.make(idle_window=5)
+        sel.on_recovery("s")
+        for i in range(12):
+            if i % 3 == 0:
+                sel.on_recovery("s")  # keeps the entry warm
+            out = sel.on_read("other")
+            assert all(c.stripe != "s" for c in out), i
+        assert sel.code_of("s") is CodeKind.MSR
+
+    def test_paper_default_never_expires(self):
+        sel = AdaptiveSelector(
+            CostModel(4, 2, SystemProfile(alpha=1e9)), queue_capacity=8
+        )
+        sel.on_recovery("s")
+        for _ in range(500):
+            sel.on_read("other")
+        assert sel.code_of("s") is CodeKind.MSR
+
+    def test_framework_executes_idle_expiry(self):
+        import numpy as np
+
+        from repro.fusion import ECFusion
+
+        fusion = ECFusion(k=4, r=2, profile=SystemProfile(alpha=1e9))
+        fusion.selector.idle_window = 5
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        fusion.write("hot", data)
+        fusion.write("other", data)
+        fusion.recover("hot", 0)
+        assert fusion.code_of("hot") is CodeKind.MSR
+        for _ in range(8):
+            fusion.read("other", 0)
+        assert fusion.code_of("hot") is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("hot"), data)

@@ -1,0 +1,169 @@
+"""Tests for the Table III cost model and the η threshold."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import ALWAYS_MSR, ALWAYS_RS, CostModel, SystemProfile
+
+
+def model(k=6, r=3, **kw):
+    return CostModel(k, r, SystemProfile(**kw))
+
+
+class TestSystemProfile:
+    def test_defaults_match_paper_testbed(self):
+        p = SystemProfile()
+        assert p.lam == 125e6  # 1 Gbps NIC
+        assert p.gamma == 27 * 1024 * 1024  # 27 MB HDFS chunk
+
+    @pytest.mark.parametrize("field", ["alpha", "lam", "phi", "gamma"])
+    def test_positive_validation(self, field):
+        with pytest.raises(ValueError):
+            SystemProfile(**{field: 0})
+
+    def test_with_gamma(self):
+        p = SystemProfile().with_gamma(64 * 1024)
+        assert p.gamma == 64 * 1024
+        assert p.alpha == SystemProfile().alpha
+
+
+class TestClosedForms:
+    def test_write_rs_formula(self):
+        m = model(k=6, r=3, alpha=1e9, lam=125e6, phi=65536, gamma=1024.0)
+        expect = 1024 * (18 / 1e9 + (9 / 6) / 125e6 + 1 / 65536)
+        assert m.write_cost_rs == pytest.approx(expect)
+
+    def test_recovery_rs_formula(self):
+        m = model(k=6, r=3, alpha=1e9, lam=125e6, phi=65536, gamma=1024.0)
+        expect = (9 * 9 + 1024 * 6) / 1e9 + 1024 * (6 / 125e6 + 1 / 65536)
+        assert m.recovery_cost_rs == pytest.approx(expect)
+
+    def test_write_msr_formula(self):
+        m = model(k=6, r=3, alpha=1e9, lam=125e6, phi=65536, gamma=1024.0)
+        expect = 81 * (9 + 1024) / 1e9 + 1024 * (2 / 125e6 + 1 / 65536)
+        assert m.write_cost_msr == pytest.approx(expect)
+
+    def test_recovery_msr_formula(self):
+        m = model(k=6, r=3, alpha=1e9, lam=125e6, phi=65536, gamma=1024.0)
+        expect = (729 + 1024 * 15) / 1e9 + 1024 * (5 / (3 * 125e6) + 1 / 65536)
+        assert m.recovery_cost_msr == pytest.approx(expect)
+
+    def test_invalid_kr(self):
+        with pytest.raises(ValueError):
+            CostModel(0, 3, SystemProfile())
+
+
+class TestRelativeOrdering:
+    """The qualitative claims of §III-B the whole design rests on."""
+
+    @pytest.mark.parametrize("k", [4, 6, 8, 10, 12])
+    def test_rs_writes_cheaper_than_msr(self, k):
+        m = model(k=k, r=3)
+        assert m.write_cost_rs < m.write_cost_msr
+
+    @pytest.mark.parametrize("k", [4, 6, 8, 10, 12])
+    def test_msr_recovery_cheaper_than_rs(self, k):
+        m = model(k=k, r=3)
+        assert m.recovery_cost_msr < m.recovery_cost_rs
+
+    def test_eta_positive_and_finite_for_paper_configs(self):
+        for k in (6, 8):
+            eta = model(k=k, r=3).eta
+            assert 0 < eta < math.inf
+
+    def test_io_term_cancels_in_eta(self):
+        """γ/φ appears in all four formulas, so η is φ-independent."""
+        a = model(k=6, r=3, phi=4096).eta
+        b = model(k=6, r=3, phi=1 << 20).eta
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestDecision:
+    def test_prefers_rs_above_eta(self):
+        m = model()
+        assert m.prefers_rs(m.eta + 0.1)
+        assert not m.prefers_rs(m.eta - 0.1)
+
+    def test_prefers_msr_below_eta(self):
+        m = model()
+        assert m.prefers_msr(m.eta - 0.1)
+        assert not m.prefers_msr(m.eta + 0.1)
+
+    def test_hysteresis_creates_dead_band(self):
+        m = model()
+        margin = m.eta / 2
+        delta = m.eta  # inside the band
+        assert not m.prefers_rs(delta, margin)
+        assert not m.prefers_msr(delta, margin)
+
+    def test_negative_margin_rejected(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.prefers_rs(1.0, margin=-0.1)
+        with pytest.raises(ValueError):
+            m.prefers_msr(1.0, margin=-0.1)
+
+    def test_degenerate_sentinels(self):
+        # Tiny blocks + slow CPU: MSR's l^3 matrix work dominates and MSR
+        # recovery stops being cheaper -> RS always.
+        m = model(k=6, r=3, alpha=1.0, gamma=1.0)
+        assert m.eta in (ALWAYS_RS, ALWAYS_MSR) or m.eta > 0
+
+
+class TestTableIII:
+    def test_application_compute_rs_vs_msr(self):
+        m = model(k=6, r=3, gamma=64 * 1024.0)
+        rs = m.application_compute("rs", beta=1.0)
+        msr = m.application_compute("msr", beta=1.0)
+        assert rs < msr  # the headline claim: MSR writes cost more GF work
+
+    def test_application_compute_scales_with_beta(self):
+        m = model()
+        low = m.application_compute("rs", beta=0.1)
+        high = m.application_compute("rs", beta=10.0)
+        assert low < high
+
+    def test_recovery_transmission_ratio(self):
+        m = model(k=6, r=3)
+        assert m.recovery_transmission("rs") == 6
+        assert m.recovery_transmission("msr") == pytest.approx(5 / 3)
+
+    def test_recovery_disk_io_bounds(self):
+        m = model(k=6, r=3)
+        lo, hi = m.recovery_disk_io("msr")
+        assert lo == pytest.approx(hi / 3)
+        rs_lo, rs_hi = m.recovery_disk_io("rs")
+        assert rs_lo == rs_hi
+
+    def test_unknown_code_rejected(self):
+        m = model()
+        for fn in (m.recovery_compute, m.recovery_transmission, m.recovery_disk_io):
+            with pytest.raises(ValueError):
+                fn("lrc")
+        with pytest.raises(ValueError):
+            m.application_compute("xor", beta=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=20),
+    r=st.integers(min_value=2, max_value=4),
+    gamma=st.floats(min_value=1e4, max_value=1e9),
+)
+def test_prop_eta_consistent_with_costs(k, r, gamma):
+    """Whenever η is finite-positive, δ above it must favour RS totals."""
+    m = CostModel(k, r, SystemProfile(gamma=gamma))
+    eta = m.eta
+    if not (0 < eta < math.inf):
+        return
+    # total cost of `delta` writes + 1 recovery under each code
+    for delta, better in ((eta * 2, "rs"), (eta / 2, "msr")):
+        rs_total = delta * m.write_cost_rs + m.recovery_cost_rs
+        msr_total = delta * m.write_cost_msr + m.recovery_cost_msr
+        if better == "rs":
+            assert rs_total <= msr_total * (1 + 1e-9)
+        else:
+            assert msr_total <= rs_total * (1 + 1e-9)

@@ -1,0 +1,257 @@
+"""Integration tests for the ECFusion framework (selector + transformer + codes)."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import CodeKind, ECFusion, SystemProfile
+
+
+ETA15 = SystemProfile(alpha=1e9)  # pins η(4,2) = 1.5
+
+
+@pytest.fixture()
+def fusion():
+    return ECFusion(k=4, r=2, profile=ETA15)
+
+
+def make_data(rng, k=4, L=16):
+    return rng.integers(0, 256, (k, L), dtype=np.uint8)
+
+
+class TestWriteRead:
+    def test_write_then_read_roundtrip(self, fusion):
+        rng = np.random.default_rng(0)
+        data = make_data(rng)
+        fusion.write("s", data)
+        for b in range(4):
+            assert np.array_equal(fusion.read("s", b), data[b])
+        assert np.array_equal(fusion.read_stripe("s"), data)
+
+    def test_default_code_is_rs(self, fusion):
+        rng = np.random.default_rng(1)
+        fusion.write("s", make_data(rng))
+        assert fusion.code_of("s") is CodeKind.RS
+        assert fusion.storage_overhead() == pytest.approx(6 / 4)
+
+    def test_write_into_msr_flag_encodes_msr_directly(self, fusion):
+        rng = np.random.default_rng(2)
+        data = make_data(rng)
+        fusion.write("s", data)
+        fusion.recover("s", 0)  # flips to MSR (δ=1 < η=1.5)
+        assert fusion.code_of("s") is CodeKind.MSR
+        # δ after next write = 2/1 = 2 > 1.5: flips back to RS and the
+        # rewrite encodes as RS without paying a conversion.
+        fusion.write("s", data)
+        assert fusion.code_of("s") is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("s"), data)
+
+    def test_bad_shapes_rejected(self, fusion):
+        with pytest.raises(ValueError):
+            fusion.write("s", np.zeros((3, 16), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            fusion.write("s", np.zeros((4, 15), dtype=np.uint8))  # 15 % 4 != 0
+
+    def test_unknown_stripe_raises(self, fusion):
+        with pytest.raises(KeyError):
+            fusion.read("nope", 0)
+
+    def test_block_bounds_checked(self, fusion):
+        rng = np.random.default_rng(3)
+        fusion.write("s", make_data(rng))
+        with pytest.raises(ValueError):
+            fusion.read("s", 4)
+        with pytest.raises(ValueError):
+            fusion.recover("s", -1)
+
+
+class TestRecovery:
+    def test_recovery_in_rs_mode(self):
+        # force RS by writing a lot first
+        fusion = ECFusion(k=4, r=2, profile=ETA15)
+        rng = np.random.default_rng(4)
+        data = make_data(rng)
+        for _ in range(10):
+            fusion.write("s", data)
+        rep = fusion.recover("s", 2)
+        assert rep.code is CodeKind.RS
+        assert rep.bytes_read == 4 * 16  # k full blocks
+        assert np.array_equal(fusion.read("s", 2), data[2])
+
+    def test_recovery_converts_then_repairs_msr(self, fusion):
+        rng = np.random.default_rng(5)
+        data = make_data(rng)
+        fusion.write("s", data)
+        rep = fusion.recover("s", 1)  # δ=1 < η -> convert to MSR, repair there
+        assert rep.code is CodeKind.MSR
+        assert [c.target for c in rep.conversions] == [CodeKind.MSR]
+        # MSR(4,2) repair: 3 helpers × L/s = 3 * 16/2 = 24 bytes
+        assert rep.bytes_read == 3 * 16 // 2
+        assert np.array_equal(fusion.read("s", 1), data[1])
+
+    def test_repeated_recoveries_stay_msr(self, fusion):
+        rng = np.random.default_rng(6)
+        data = make_data(rng)
+        fusion.write("s", data)
+        for b in (0, 1, 2, 3, 0, 1):
+            rep = fusion.recover("s", b)
+            assert np.array_equal(fusion.read("s", b), data[b])
+        assert fusion.code_of("s") is CodeKind.MSR
+
+    def test_recovery_data_intact_after_conversion_cycle(self, fusion):
+        """RS -> MSR (via recovery) -> RS (via writes): data must survive."""
+        rng = np.random.default_rng(7)
+        data = make_data(rng)
+        fusion.write("s", data)
+        fusion.recover("s", 0)
+        assert fusion.code_of("s") is CodeKind.MSR
+        # pile up writes on the *selector* without rewriting data: use reads
+        # plus one write of the same data to trigger the RS flip
+        fusion.write("s", data)
+        assert fusion.code_of("s") is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("s"), data)
+
+
+class TestConversionCosts:
+    def test_transform_costs_accumulate(self, fusion):
+        rng = np.random.default_rng(8)
+        data = make_data(rng)
+        # δ: after write 1 / recovery 1 = 1 < 1.5 -> conversion on recovery
+        fusion.write("s", data)
+        fusion.recover("s", 0)
+        assert fusion.transform_cost.blocks_read > 0
+        assert fusion.transform_cost.blocks_written > 0
+
+    def test_queue2_eviction_converts_stored_stripe(self):
+        fusion = ECFusion(k=4, r=2, profile=ETA15, queue_capacity=2)
+        rng = np.random.default_rng(9)
+        for s in ("a", "b", "c"):
+            fusion.write(s, make_data(rng))
+        fusion.recover("a", 0)   # a -> MSR
+        assert fusion.code_of("a") is CodeKind.MSR
+        fusion.recover("b", 0)   # b -> MSR
+        fusion.recover("c", 0)   # evicts a from Queue2 -> a back to RS
+        assert fusion.code_of("a") is CodeKind.RS
+        # data integrity across the forced round-trip
+        assert fusion.read("a", 0).shape == (16,)
+
+    def test_storage_overhead_reflects_msr_stripes(self, fusion):
+        rng = np.random.default_rng(10)
+        fusion.write("s", make_data(rng))
+        before = fusion.storage_overhead()
+        fusion.recover("s", 0)
+        after = fusion.storage_overhead()
+        assert after > before  # MSR(2r, r) stores 2x
+
+    def test_stats_shape(self, fusion):
+        rng = np.random.default_rng(11)
+        fusion.write("s", make_data(rng))
+        fusion.recover("s", 0)
+        s = fusion.stats()
+        for key in ("eta", "conversions", "stripes", "storage_overhead",
+                    "repair_bytes_read"):
+            assert key in s
+
+
+class TestMultiStripe:
+    def test_independent_stripe_states(self):
+        fusion = ECFusion(k=4, r=2, profile=ETA15)
+        rng = np.random.default_rng(12)
+        hot_data = make_data(rng)
+        cold_data = make_data(rng)
+        fusion.write("hot", hot_data)
+        fusion.write("cold", cold_data)
+        fusion.recover("hot", 0)
+        assert fusion.code_of("hot") is CodeKind.MSR
+        assert fusion.code_of("cold") is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("hot"), hot_data)
+        assert np.array_equal(fusion.read_stripe("cold"), cold_data)
+
+    def test_padded_configuration_roundtrip(self):
+        """EC-Fusion(8,3): the paper's flagship config with a virtual node."""
+        fusion = ECFusion(k=8, r=3)
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 256, (8, 18), dtype=np.uint8)
+        fusion.write("s", data)
+        rep = fusion.recover("s", 7)  # in the padded last group
+        assert np.array_equal(fusion.read("s", 7), data[7])
+        assert np.array_equal(fusion.read_stripe("s"), data)
+
+
+class TestDeletion:
+    def test_delete_frees_state(self, fusion):
+        rng = np.random.default_rng(20)
+        data = make_data(rng)
+        fusion.write("s", data)
+        fusion.recover("s", 0)  # MSR + queue entries
+        assert "s" in fusion
+        fusion.delete("s")
+        assert "s" not in fusion
+        assert len(fusion) == 0
+        assert "s" not in fusion.selector.queue1
+        assert "s" not in fusion.selector.queue2
+        with pytest.raises(KeyError):
+            fusion.read("s", 0)
+
+    def test_delete_unknown_raises(self, fusion):
+        with pytest.raises(KeyError):
+            fusion.delete("ghost")
+
+    def test_deleted_stripe_rewritable_fresh(self, fusion):
+        rng = np.random.default_rng(21)
+        data = make_data(rng)
+        fusion.write("s", data)
+        fusion.recover("s", 0)
+        fusion.delete("s")
+        fresh = make_data(rng)
+        fusion.write("s", fresh)
+        # history was wiped: the fresh stripe starts RS like any new write
+        assert fusion.code_of("s") is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("s"), fresh)
+
+    def test_delete_does_not_trigger_conversions(self, fusion):
+        rng = np.random.default_rng(22)
+        fusion.write("a", make_data(rng))
+        fusion.write("b", make_data(rng))
+        fusion.recover("a", 0)
+        before = len(fusion.selector.conversions)
+        fusion.delete("a")
+        assert len(fusion.selector.conversions) == before
+
+
+class TestParityRecovery:
+    def test_rs_mode_parity_repair(self):
+        fusion = ECFusion(k=4, r=2, profile=ETA15)
+        rng = np.random.default_rng(40)
+        data = make_data(rng)
+        for _ in range(10):  # keep δ high -> RS
+            fusion.write("s", data)
+        rep = fusion.recover_parity("s", 1)
+        assert rep.code is CodeKind.RS
+        assert np.array_equal(fusion.read_stripe("s"), data)
+        # repaired parity must re-verify against a fresh encode
+        store = fusion._stripes["s"]
+        assert np.array_equal(store.rs_blocks, fusion.rs.encode(data))
+
+    def test_msr_mode_parity_repair(self, fusion):
+        rng = np.random.default_rng(41)
+        data = make_data(rng)
+        fusion.write("s", data)
+        fusion.recover("s", 0)  # -> MSR
+        rep = fusion.recover_parity("s", 3)  # group 1, parity 1
+        assert rep.code is CodeKind.MSR
+        store = fusion._stripes["s"]
+        for g, grp in enumerate(store.msr_groups):
+            assert np.array_equal(fusion.msr.encode(grp[:2]), grp), g
+
+    def test_index_bounds(self, fusion):
+        rng = np.random.default_rng(42)
+        fusion.write("s", make_data(rng))
+        with pytest.raises(ValueError):
+            fusion.recover_parity("s", 5)
+
+    def test_parity_loss_feeds_adaptation(self, fusion):
+        rng = np.random.default_rng(43)
+        fusion.write("s", make_data(rng))
+        before = fusion.selector.queue2.total_hits
+        fusion.recover_parity("s", 0)
+        assert fusion.selector.queue2.total_hits == before + 1

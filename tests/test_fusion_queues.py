@@ -1,0 +1,136 @@
+"""Tests for the tracking queues used by workload adaptation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import CachePolicy, TrackingQueue
+
+
+class TestBasics:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            TrackingQueue(0)
+
+    def test_record_and_contains(self):
+        q = TrackingQueue(4)
+        q.record("a")
+        assert "a" in q
+        assert "b" not in q
+        assert len(q) == 1
+
+    def test_hits_counted(self):
+        q = TrackingQueue(4)
+        for _ in range(3):
+            q.record("a")
+        assert q.hits("a") == 3
+        assert q.hits("missing") == 0
+
+    def test_remove(self):
+        q = TrackingQueue(4)
+        q.record("a")
+        entry = q.remove("a")
+        assert entry.key == "a"
+        assert "a" not in q
+        assert q.remove("a") is None
+        assert q.total_evictions == 0  # remove() is not an eviction
+
+    def test_clear(self):
+        q = TrackingQueue(4)
+        q.record("a")
+        q.clear()
+        assert len(q) == 0
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        q = TrackingQueue(2, CachePolicy.LRU)
+        q.record("a")
+        q.record("b")
+        evicted = q.record("c")
+        assert [e.key for e in evicted] == ["a"]
+
+    def test_touch_refreshes_recency(self):
+        q = TrackingQueue(2, CachePolicy.LRU)
+        q.record("a")
+        q.record("b")
+        q.record("a")  # refresh a
+        evicted = q.record("c")
+        assert [e.key for e in evicted] == ["b"]
+
+    def test_iteration_cold_to_hot(self):
+        q = TrackingQueue(3, CachePolicy.LRU)
+        for key in ("a", "b", "c"):
+            q.record(key)
+        q.record("a")
+        assert list(q) == ["b", "c", "a"]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        q = TrackingQueue(2, CachePolicy.LFU)
+        q.record("a")
+        q.record("a")
+        q.record("b")
+        evicted = q.record("c")
+        assert [e.key for e in evicted] == ["b"]
+
+    def test_frequency_tie_breaks_by_recency(self):
+        q = TrackingQueue(2, CachePolicy.LFU)
+        q.record("a")
+        q.record("b")  # both hits=1, a older
+        evicted = q.record("c")
+        assert [e.key for e in evicted] == ["a"]
+
+    def test_eviction_carries_hit_count(self):
+        q = TrackingQueue(1, CachePolicy.LFU)
+        q.record("a")
+        q.record("a")
+        evicted = q.record("b")
+        assert evicted[0].hits == 2
+
+
+class TestStats:
+    def test_counters(self):
+        q = TrackingQueue(1)
+        q.record("a")
+        q.record("b")
+        q.record("b")
+        assert q.total_hits == 3
+        assert q.total_evictions == 1
+
+    def test_hottest(self):
+        q = TrackingQueue(8)
+        for key, times in (("a", 3), ("b", 1), ("c", 2)):
+            for _ in range(times):
+                q.record(key)
+        assert q.hottest(2) == ["a", "c"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from([CachePolicy.LRU, CachePolicy.LFU]),
+    keys=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=100),
+)
+def test_prop_size_never_exceeds_capacity(capacity, policy, keys):
+    q = TrackingQueue(capacity, policy)
+    for key in keys:
+        q.record(key)
+        assert len(q) <= capacity
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60))
+def test_prop_conservation_of_entries(keys):
+    """Every recorded key is either resident or was evicted exactly once
+    per residency period."""
+    q = TrackingQueue(3)
+    evictions = 0
+    insertions = 0
+    for key in keys:
+        if key not in q:
+            insertions += 1
+        evictions += len(q.record(key))
+    assert evictions == q.total_evictions
+    assert len(q) + evictions == insertions

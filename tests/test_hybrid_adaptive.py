@@ -1,0 +1,193 @@
+"""Tests for the adaptive planners: HACFS and EC-Fusion."""
+
+import pytest
+
+from repro.fusion.adaptation import CodeKind
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import ECFusionPlanner, HACFSPlanner, PlanKind
+
+GAMMA = 1024.0
+
+
+class TestHACFS:
+    def test_even_k_required(self):
+        with pytest.raises(ValueError):
+            HACFSPlanner(7, GAMMA)
+
+    def test_fresh_write_lands_fast_without_conversion(self):
+        h = HACFSPlanner(8, GAMMA, hot_capacity=4)
+        plans = h.plan_write("s")
+        assert [p.kind for p in plans] == [PlanKind.WRITE]
+        assert h.code_of("s") == "fast"
+        assert h.conversion_count == 0
+
+    def test_cooling_downcodes_parity_only(self):
+        h = HACFSPlanner(8, GAMMA, hot_capacity=1)
+        h.plan_write("a")
+        plans = h.plan_write("b")  # evicts "a" -> downcode
+        conv = [p for p in plans if p.kind is PlanKind.CONVERSION]
+        assert len(conv) == 1
+        assert set(conv[0].reads) == {8 + i for i in range(4)}  # fast locals
+        assert set(conv[0].writes) == {8, 9}
+        assert h.code_of("a") == "compact"
+
+    def test_upcode_requires_threshold(self):
+        h = HACFSPlanner(8, GAMMA, hot_capacity=1, upcode_threshold=3)
+        h.plan_write("a")
+        h.plan_write("b")  # a -> compact
+        # two reads: below threshold, no upcode
+        for _ in range(2):
+            plans = h.plan_read("a", 0)
+            assert all(p.kind is not PlanKind.CONVERSION or set(p.writes) != set(
+                range(8, 12)) for p in plans)
+        assert h.code_of("a") == "compact"
+        # third read crosses the threshold
+        plans = h.plan_read("a", 0)
+        conv = [p for p in plans if p.kind is PlanKind.CONVERSION and p.reads.keys() == set(range(8))]
+        assert conv, "expected an upcode conversion reading the data"
+        assert h.code_of("a") == "fast"
+
+    def test_recovery_uses_current_code(self):
+        h = HACFSPlanner(8, GAMMA, hot_capacity=4)
+        h.plan_write("hot")
+        (fast_plan,) = h.plan_recovery("hot", 0)
+        assert len(fast_plan.reads) == 2  # fast code: group of two
+        (cold_plan,) = h.plan_recovery("cold", 0)
+        assert len(cold_plan.reads) == 4  # compact: group of k/2
+
+    def test_storage_overhead_mixes(self):
+        h = HACFSPlanner(8, GAMMA, hot_capacity=8)
+        assert h.storage_overhead() == pytest.approx(12 / 8)  # all compact
+        h.plan_write("a")
+        assert h.storage_overhead() == pytest.approx(14 / 8)  # one stripe, fast
+        h.plan_write("b")
+        h._downcode("a")
+        assert 12 / 8 < h.storage_overhead() < 14 / 8
+
+
+class TestECFusionPlanner:
+    def make(self, **kw):
+        return ECFusionPlanner(
+            8, 3, GAMMA, profile=SystemProfile(gamma=GAMMA), **kw
+        )
+
+    def test_width_includes_all_msr_parity_slots(self):
+        p = self.make()
+        assert p.q == 3
+        assert p.width == 8 + 9
+
+    def test_write_is_rs_by_default(self):
+        p = self.make()
+        (plan,) = p.plan_write("s")
+        assert set(plan.writes) == set(range(11))
+        assert plan.compute_ops == GAMMA * 24
+
+    def test_recovery_on_cold_stripe_converts_then_repairs_msr(self):
+        p = self.make()
+        p.plan_write("s")
+        plans = p.plan_recovery("s", 0)  # δ = 1/1 < η -> convert
+        kinds = [pl.kind for pl in plans]
+        assert kinds == [PlanKind.CONVERSION, PlanKind.RECOVERY]
+        conv, rec = plans
+        # conversion reads first q−1 data groups + r parities (Fig. 12(b))
+        assert set(conv.reads) == set(range(6)) | {8, 9, 10}
+        assert set(conv.writes) == {8 + i for i in range(9)}
+        assert conv.distributed
+        # MSR repair of block 0: group 0 -> data 1,2 + parity slots 8,9,10
+        assert set(rec.reads) == {1, 2, 8, 9, 10}
+        assert all(v == pytest.approx(GAMMA / 3) for v in rec.reads.values())
+
+    def test_recovery_in_padded_group(self):
+        p = self.make()
+        p.plan_write("s")
+        plans = p.plan_recovery("s", 7)  # group 2 holds blocks 6,7 + virtual
+        rec = plans[-1]
+        assert set(rec.reads) == {6} | {8 + 6, 8 + 7, 8 + 8}
+
+    def test_conversion_skipped_for_unknown_stripe(self):
+        p = self.make()
+        plans = p.plan_recovery("ghost", 0)
+        # stripe was never seen before this recovery... it becomes seen,
+        # and the conversion happens because the stripe now exists
+        assert plans[-1].kind is PlanKind.RECOVERY
+
+    def test_write_heavy_stripe_stays_rs(self):
+        p = self.make()
+        for _ in range(20):
+            p.plan_write("s")
+        plans = p.plan_recovery("s", 0)
+        assert [pl.kind for pl in plans] == [PlanKind.RECOVERY]
+        assert len(plans[0].reads) == 8  # RS repair
+
+    def test_msr_to_rs_conversion_reads_parities_only(self):
+        p = self.make()
+        p.plan_write("s")
+        p.plan_recovery("s", 0)  # now MSR
+        assert p.code_of("s") is CodeKind.MSR
+        # writes push δ over η -> revert; next write plans RS encode; the
+        # conversion itself is free for a full rewrite
+        for _ in range(10):
+            p.plan_write("s")
+        assert p.code_of("s") is CodeKind.RS
+
+    def test_queue2_eviction_emits_paid_conversion(self):
+        p = ECFusionPlanner(
+            8, 3, GAMMA, profile=SystemProfile(gamma=GAMMA), queue_capacity=1
+        )
+        p.plan_write("a")
+        p.plan_write("b")
+        p.plan_recovery("a", 0)  # a -> MSR
+        plans = p.plan_recovery("b", 0)  # evicts a -> a reverts to RS (paid)
+        conv = [pl for pl in plans if pl.kind is PlanKind.CONVERSION]
+        # two conversions: a's revert (parity-only) and b's to-MSR
+        reverts = [c for c in conv if set(c.writes) == {8, 9, 10}]
+        assert reverts, "expected the MSR->RS revert plan"
+        assert set(reverts[0].reads) == {8 + i for i in range(9)}
+
+    def test_storage_overhead_tracks_msr_fraction(self):
+        p = self.make()
+        for s in ("a", "b", "c", "d"):
+            p.plan_write(s)
+        assert p.storage_overhead() == pytest.approx(11 / 8)
+        p.plan_recovery("a", 0)
+        assert p.storage_overhead() == pytest.approx(0.75 * 11 / 8 + 0.25 * 17 / 8)
+
+    def test_stats_exposed(self):
+        p = self.make()
+        p.plan_write("s")
+        p.plan_recovery("s", 0)
+        stats = p.stats()
+        assert stats["executed_conversions"] == 1
+        assert stats["to_msr"] == 1
+
+
+class TestParityRecoveryPlans:
+    def make(self):
+        return ECFusionPlanner(8, 3, GAMMA, profile=SystemProfile(gamma=GAMMA))
+
+    def test_rs_mode_plan(self):
+        p = self.make()
+        for _ in range(20):
+            p.plan_write("s")
+        plans = p.plan_parity_recovery("s", 2)
+        rec = plans[-1]
+        assert rec.writes == {10: GAMMA}
+        assert len(rec.reads) == 8
+        assert 10 not in rec.reads
+
+    def test_msr_mode_plan(self):
+        p = self.make()
+        p.plan_write("s")
+        p.plan_recovery("s", 0)  # convert to MSR
+        plans = p.plan_parity_recovery("s", 4)  # group 1, x=1
+        rec = plans[-1]
+        assert rec.writes == {12: GAMMA}
+        assert set(rec.reads) == {3, 4, 5, 11, 13}
+        assert all(v == pytest.approx(GAMMA / 3) for v in rec.reads.values())
+
+    def test_bounds(self):
+        p = self.make()
+        for _ in range(20):  # keep δ high so the stripe stays in RS mode
+            p.plan_write("s")
+        with pytest.raises(ValueError):
+            p.plan_parity_recovery("s", 3)  # RS mode has parities 0..2

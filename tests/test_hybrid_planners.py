@@ -1,0 +1,125 @@
+"""Tests for the static scheme planners (RS / MSR / LRC) and OpPlan."""
+
+import pytest
+
+from repro.hybrid import LRCPlanner, MSRPlanner, OpPlan, PlanKind, RSPlanner
+
+GAMMA = 1024.0
+
+
+class TestOpPlan:
+    def test_byte_totals(self):
+        plan = OpPlan(
+            PlanKind.READ, reads={0: 10.0, 1: 20.0}, writes={2: 5.0}
+        )
+        assert plan.bytes_read == 30.0
+        assert plan.bytes_written == 5.0
+        assert plan.transfer_bytes == 35.0
+
+    def test_defaults(self):
+        plan = OpPlan(PlanKind.WRITE)
+        assert plan.compute_ops == 0.0
+        assert plan.bytes_read == 0.0
+        assert not plan.distributed
+
+
+class TestRSPlanner:
+    def test_write_plan(self):
+        rs = RSPlanner(8, 3, GAMMA)
+        plans = rs.plan_write("s")
+        assert len(plans) == 1
+        plan = plans[0]
+        assert plan.kind is PlanKind.WRITE
+        assert set(plan.writes) == set(range(11))
+        assert plan.compute_ops == GAMMA * 8 * 3
+        assert not plan.reads
+
+    def test_read_plan(self):
+        rs = RSPlanner(8, 3, GAMMA)
+        (plan,) = rs.plan_read("s", 5)
+        assert plan.reads == {5: GAMMA}
+        assert not plan.writes
+
+    def test_recovery_reads_k_chunks(self):
+        rs = RSPlanner(8, 3, GAMMA)
+        (plan,) = rs.plan_recovery("s", 2)
+        assert len(plan.reads) == 8
+        assert 2 not in plan.reads
+        assert plan.writes == {2: GAMMA}
+        assert plan.compute_ops == 11 * 9 + GAMMA * 8
+
+    def test_block_bounds(self):
+        rs = RSPlanner(4, 2, GAMMA)
+        with pytest.raises(ValueError):
+            rs.plan_read("s", 4)
+        with pytest.raises(ValueError):
+            rs.plan_recovery("s", -1)
+
+    def test_storage_overhead(self):
+        assert RSPlanner(8, 3, GAMMA).storage_overhead() == pytest.approx(11 / 8)
+
+
+class TestMSRPlanner:
+    def test_virtual_node_padding(self):
+        msr8 = MSRPlanner(8, 3, GAMMA)  # n = 11 -> pad to 12
+        assert msr8.n_eff == 12
+        assert msr8.virtual_nodes == 1
+        assert msr8.l == 3**4
+        msr6 = MSRPlanner(6, 3, GAMMA)  # n = 9, no padding
+        assert msr6.virtual_nodes == 0
+        assert msr6.l == 27
+
+    def test_recovery_reads_fraction_of_all_helpers(self):
+        msr = MSRPlanner(6, 3, GAMMA)
+        (plan,) = msr.plan_recovery("s", 0)
+        assert len(plan.reads) == 8  # all real survivors
+        assert all(v == GAMMA / 3 for v in plan.reads.values())
+        assert plan.bytes_read == pytest.approx(8 * GAMMA / 3)
+
+    def test_recovery_cheaper_transfer_than_rs(self):
+        rs = RSPlanner(6, 3, GAMMA)
+        msr = MSRPlanner(6, 3, GAMMA)
+        (rs_plan,) = rs.plan_recovery("s", 0)
+        (msr_plan,) = msr.plan_recovery("s", 0)
+        assert msr_plan.bytes_read < rs_plan.bytes_read
+
+    def test_write_compute_dominates_rs(self):
+        rs = RSPlanner(6, 3, GAMMA)
+        msr = MSRPlanner(6, 3, GAMMA)
+        assert msr.plan_write("s")[0].compute_ops > rs.plan_write("s")[0].compute_ops
+
+    def test_storage_matches_rs(self):
+        assert MSRPlanner(8, 3, GAMMA).storage_overhead() == pytest.approx(11 / 8)
+
+
+class TestLRCPlanner:
+    def test_z_divides_k(self):
+        with pytest.raises(ValueError):
+            LRCPlanner(8, 2, 3, GAMMA)
+
+    def test_write_touches_all_slots(self):
+        lrc = LRCPlanner(8, 2, 2, GAMMA)
+        (plan,) = lrc.plan_write("s")
+        assert set(plan.writes) == set(range(12))
+
+    def test_recovery_local_group_only(self):
+        lrc = LRCPlanner(8, 2, 2, GAMMA)
+        (plan,) = lrc.plan_recovery("s", 5)  # group 1 = blocks 4..7
+        assert set(plan.reads) == {4, 6, 7, 9}  # peers + local parity slot k+1
+        assert plan.writes == {5: GAMMA}
+
+    def test_recovery_cheaper_than_rs(self):
+        lrc = LRCPlanner(8, 2, 2, GAMMA)
+        rs = RSPlanner(8, 3, GAMMA)
+        assert (
+            lrc.plan_recovery("s", 0)[0].bytes_read
+            < rs.plan_recovery("s", 0)[0].bytes_read
+        )
+
+    def test_storage_overhead(self):
+        assert LRCPlanner(8, 2, 2, GAMMA).storage_overhead() == pytest.approx(12 / 8)
+
+    def test_fast_variant_reads_two(self):
+        fast = LRCPlanner(8, 2, 4, GAMMA)
+        (plan,) = fast.plan_recovery("s", 3)
+        assert len(plan.reads) == 2

@@ -1,0 +1,65 @@
+"""Tests for the interleaved LRC group layout (paper Fig. 2(b))."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import LocalReconstructionCode, ParameterError
+
+
+class TestInterleavedLayout:
+    def test_paper_fig2b_groups(self):
+        """k=8, z=2: p1 = d1⊕d2⊕d5⊕d6, p2 = d3⊕d4⊕d7⊕d8 (1-indexed)."""
+        lrc = LocalReconstructionCode(8, 2, 2, layout="interleaved")
+        assert lrc.group_members(0) == [0, 1, 4, 5]
+        assert lrc.group_members(1) == [2, 3, 6, 7]
+
+    def test_local_parities_match_figure(self):
+        rng = np.random.default_rng(0)
+        lrc = LocalReconstructionCode(8, 2, 2, layout="interleaved")
+        data = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        coded = lrc.encode(data)
+        assert np.array_equal(coded[8], data[0] ^ data[1] ^ data[4] ^ data[5])
+        assert np.array_equal(coded[9], data[2] ^ data[3] ^ data[6] ^ data[7])
+
+    def test_repair_uses_interleaved_group(self):
+        rng = np.random.default_rng(1)
+        lrc = LocalReconstructionCode(8, 2, 2, layout="interleaved")
+        coded = lrc.encode(rng.integers(0, 256, (8, 16), dtype=np.uint8))
+        res = lrc.repair(4, {i: coded[i] for i in range(12) if i != 4})
+        assert np.array_equal(res.block, coded[4])
+        assert set(res.bytes_read) == {0, 1, 5, 8}
+
+    def test_group_of_matches_members(self):
+        lrc = LocalReconstructionCode(8, 2, 2, layout="interleaved")
+        for g in range(2):
+            for member in lrc.group_members(g):
+                assert lrc.group_of(member) == g
+
+    def test_requires_z_squared_dividing_k(self):
+        with pytest.raises(ParameterError):
+            LocalReconstructionCode(6, 2, 2, layout="interleaved")  # 4 ∤ 6
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ParameterError):
+            LocalReconstructionCode(8, 2, 2, layout="diagonal")
+
+    def test_same_fault_tolerance_as_contiguous(self):
+        inter = LocalReconstructionCode(8, 2, 2, layout="interleaved")
+        contig = LocalReconstructionCode(8, 2, 2, layout="contiguous")
+        assert inter.fault_tolerance == contig.fault_tolerance == 3
+
+    def test_all_triple_erasures_decodable(self):
+        rng = np.random.default_rng(2)
+        lrc = LocalReconstructionCode(4, 2, 2, layout="interleaved")
+        data = rng.integers(0, 256, (4, 8), dtype=np.uint8)
+        coded = lrc.encode(data)
+        for erased in itertools.combinations(range(lrc.n), 3):
+            shards = {i: coded[i] for i in range(lrc.n) if i not in erased}
+            assert np.array_equal(lrc.decode(shards), coded), erased
+
+    def test_default_layout_is_contiguous(self):
+        lrc = LocalReconstructionCode(8, 2, 2)
+        assert lrc.layout == "contiguous"
+        assert lrc.group_members(0) == [0, 1, 2, 3]

@@ -1,0 +1,126 @@
+"""Tests for the analytic cost model and performance metric functions."""
+
+import pytest
+
+from repro.metrics import (
+    SCHEMES,
+    AnalyticCosts,
+    application_performance,
+    cost_effective_ratio,
+    improvement,
+    overall_performance,
+    recovery_performance,
+)
+
+
+class TestAnalyticStorage:
+    def test_rs_and_msr_identical(self):
+        c = AnalyticCosts(k=8)
+        assert c.storage("rs") == c.storage("msr") == pytest.approx(11 / 8)
+
+    def test_lrc_constant(self):
+        c = AnalyticCosts(k=8)
+        assert c.storage("lrc", 0.0) == c.storage("lrc", 1.0) == pytest.approx(1.5)
+
+    def test_ecfusion_grows_with_h(self):
+        c = AnalyticCosts(k=8)
+        assert c.storage("ecfusion", 0.0) == pytest.approx(11 / 8)
+        assert c.storage("ecfusion", 1.0) == pytest.approx(17 / 8)
+        assert c.storage("ecfusion", 0.5) == pytest.approx((11 / 8 + 17 / 8) / 2)
+
+    def test_paper_claim_91_percent(self):
+        """At the h = 1/6 operating point, k = 8 shows exactly +9.1 % vs RS."""
+        c = AnalyticCosts(k=8)
+        inc = c.storage("ecfusion", 1 / 6) / c.storage("rs") - 1
+        assert inc == pytest.approx(0.0909, abs=1e-3)
+
+    def test_hybrid_ratio_bounds(self):
+        c = AnalyticCosts(k=6)
+        with pytest.raises(ValueError):
+            c.storage("ecfusion", 1.5)
+        with pytest.raises(ValueError):
+            c.storage("nope", 0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AnalyticCosts(k=0)
+
+
+class TestAnalyticCompute:
+    def test_paper_claim_app_9630(self):
+        """k = 6: EC-Fusion (RS-mode writes) saves exactly 96.30 % vs MSR."""
+        c = AnalyticCosts(k=6)
+        saving = 1 - c.app_compute("ecfusion", 0.0) / c.app_compute("msr")
+        assert saving == pytest.approx(0.9630, abs=2e-3)
+
+    def test_paper_claim_rec_7924(self):
+        """k = 6: EC-Fusion recovery (MSR(6,3)) saves exactly 79.24 % vs MSR."""
+        c = AnalyticCosts(k=6)
+        saving = 1 - c.rec_compute("ecfusion", 1.0) / c.rec_compute("msr")
+        assert saving == pytest.approx(0.7924, abs=2e-3)
+
+    def test_msr_costs_dominate(self):
+        for k in (6, 8):
+            c = AnalyticCosts(k=k)
+            assert c.app_compute("msr") > c.app_compute("rs")
+            assert c.rec_compute("msr") > c.rec_compute("rs")
+
+    def test_lrc_recovery_cheap(self):
+        c = AnalyticCosts(k=8)
+        assert c.rec_compute("lrc") < c.rec_compute("rs")
+
+
+class TestAnalyticTransmission:
+    def test_app_counts(self):
+        c = AnalyticCosts(k=8)
+        assert c.app_transmission("rs") == 11
+        assert c.app_transmission("lrc") == 12
+        assert c.app_transmission("ecfusion", 0.0) == 11
+
+    def test_rec_counts_match_paper(self):
+        c = AnalyticCosts(k=8)
+        assert c.rec_transmission("rs") == 8
+        assert c.rec_transmission("msr") == pytest.approx(11 / 3)
+        assert c.rec_transmission("lrc") == 4
+        assert c.rec_transmission("hacfs", 1.0) == 2
+        assert c.rec_transmission("ecfusion", 1.0) == pytest.approx(5 / 3)
+
+    def test_paper_claim_7912(self):
+        c = AnalyticCosts(k=8)
+        saving = 1 - c.rec_transmission("ecfusion", 1.0) / c.rec_transmission("rs")
+        assert saving == pytest.approx(0.7917, abs=1e-3)
+
+    def test_breakdown_bundle(self):
+        c = AnalyticCosts(k=6)
+        for scheme in SCHEMES:
+            b = c.breakdown(scheme)
+            assert b.scheme == scheme
+            assert b.storage > 1.0
+            assert b.app_compute > 0
+
+
+class TestPerformanceFunctions:
+    def test_application_and_recovery_means(self):
+        assert application_performance([1.0, 3.0]) == 2.0
+        assert recovery_performance([]) == 0.0
+
+    def test_overall_weighted(self):
+        assert overall_performance(1.0, 10.0, mu1=9, mu2=1) == pytest.approx(1.9)
+
+    def test_overall_empty(self):
+        assert overall_performance(1.0, 1.0, 0, 0) == 0.0
+
+    def test_overall_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            overall_performance(1.0, 1.0, -1, 2)
+
+    def test_cost_effective(self):
+        assert cost_effective_ratio(2.0, 1.5) == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            cost_effective_ratio(0.0, 1.5)
+
+    def test_improvement_sign_convention(self):
+        assert improvement(10.0, 5.0) == pytest.approx(0.5)  # candidate better
+        assert improvement(10.0, 12.0) == pytest.approx(-0.2)  # candidate worse
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)

@@ -1,0 +1,111 @@
+"""Tests for whole-node failure storms in the cluster driver."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_workload
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import LRCPlanner, RSPlanner
+from repro.workloads import NodeFailureEvent, OpType, Request, Trace
+
+GAMMA = 1024.0 * 1024
+
+
+def config():
+    return ClusterConfig(num_nodes=12, profile=SystemProfile(gamma=GAMMA))
+
+
+def write_trace(num_stripes, extra_reads=0):
+    reqs = [
+        Request(time=float(i), op=OpType.WRITE, stripe=i, block=0)
+        for i in range(num_stripes)
+    ]
+    reqs += [
+        Request(time=float(num_stripes + i), op=OpType.READ, stripe=i % num_stripes, block=0)
+        for i in range(extra_reads)
+    ]
+    return Trace(name="t", requests=reqs)
+
+
+class TestNodeStorm:
+    def test_storm_repairs_every_chunk_on_the_node(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = write_trace(8)
+        res = run_workload(
+            scheme,
+            trace,
+            config=config(),
+            node_failures=[NodeFailureEvent(time=0.0, node=3)],
+        )
+        # rotational placement: node 3 holds data slots of several of the 8
+        # stripes; each must produce one recovery sample
+        assert len(res.recovery_latencies) >= 2
+        assert all(lat > 0 for lat in res.recovery_latencies)
+
+    def test_storm_count_matches_placement(self):
+        """Recoveries == data chunks the dead node actually held."""
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = write_trace(12)
+        node = 5
+        res = run_workload(
+            scheme,
+            trace,
+            config=config(),
+            node_failures=[NodeFailureEvent(time=0.0, node=node)],
+        )
+        # with stride-1 rotation, stripe i's slot s sits on node (i + s) % 12;
+        # data slots are 0..3, so stripes i with (i + s) % 12 == 5 for s<4:
+        expected = sum(
+            1 for i in range(12) for s in range(4) if (i + s) % 12 == node
+        )
+        assert len(res.recovery_latencies) == expected
+
+    def test_storm_interferes_with_foreground(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = write_trace(6, extra_reads=12)
+        quiet = run_workload(scheme, trace, config=config())
+        stormy = run_workload(
+            scheme,
+            trace,
+            config=config(),
+            node_failures=[NodeFailureEvent(time=0.0, node=2)],
+        )
+        assert stormy.epsilon1 >= quiet.epsilon1
+
+    def test_local_repair_drains_storm_faster(self):
+        """LRC's cheaper repairs should finish the same storm sooner."""
+        trace = write_trace(10)
+        rs_res = run_workload(
+            RSPlanner(8, 3, GAMMA),
+            trace,
+            config=ClusterConfig(num_nodes=14, profile=SystemProfile(gamma=GAMMA)),
+            node_failures=[NodeFailureEvent(time=0.0, node=1)],
+        )
+        lrc_res = run_workload(
+            LRCPlanner(8, 2, 2, GAMMA),
+            trace,
+            config=ClusterConfig(num_nodes=14, profile=SystemProfile(gamma=GAMMA)),
+            node_failures=[NodeFailureEvent(time=0.0, node=1)],
+        )
+        assert lrc_res.epsilon2 < rs_res.epsilon2
+
+    def test_open_mode_storm_at_timestamp(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        trace = write_trace(4)
+        res = run_workload(
+            scheme,
+            trace,
+            config=config(),
+            mode="open",
+            node_failures=[NodeFailureEvent(time=50.0, node=0)],
+        )
+        assert res.sim_time >= 50.0
+
+    def test_storm_with_no_stripes_is_noop(self):
+        scheme = RSPlanner(4, 2, GAMMA)
+        res = run_workload(
+            scheme,
+            Trace(name="empty"),
+            config=config(),
+            node_failures=[NodeFailureEvent(time=0.0, node=0)],
+        )
+        assert res.recovery_latencies == []

@@ -1,0 +1,98 @@
+"""Tests for the MTTDL reliability model."""
+
+import pytest
+
+from repro.fusion.costmodel import SystemProfile
+from repro.metrics import ReliabilityModel, mttdl_markov
+
+
+class TestMttdlMarkov:
+    def test_matches_raid5_closed_form(self):
+        """n=2, t=1: MTTDL = (λ0 + λ1 + μ)/(λ0·λ1) with λi = (n−i)λ."""
+        lam, mu = 1e-5, 10.0
+        got = mttdl_markov(2, 1, lam, mu)
+        expect = (2 * lam + lam + mu) / (2 * lam * lam)
+        assert got == pytest.approx(expect, rel=1e-12)
+
+    def test_no_repair_reduces_to_series_of_exponentials(self):
+        """With negligible repair, MTTDL -> Σ 1/((n−i)λ)."""
+        lam = 0.01
+        got = mttdl_markov(4, 2, lam, 1e-15)
+        expect = sum(1 / ((4 - i) * lam) for i in range(3))
+        assert got == pytest.approx(expect, rel=1e-6)
+
+    def test_faster_repair_improves_mttdl(self):
+        slow = mttdl_markov(11, 3, 1e-6, 1.0)
+        fast = mttdl_markov(11, 3, 1e-6, 10.0)
+        assert fast > slow
+
+    def test_higher_tolerance_improves_mttdl(self):
+        t2 = mttdl_markov(11, 2, 1e-6, 100.0)
+        t3 = mttdl_markov(11, 3, 1e-6, 100.0)
+        assert t3 > t2
+
+    def test_scaling_cubic_in_repair_rate_for_t3(self):
+        """For t = 3, MTTDL grows ~μ³ — the window-shrinking effect."""
+        base = mttdl_markov(11, 3, 1e-6, 1.0)
+        x10 = mttdl_markov(11, 3, 1e-6, 10.0)
+        assert x10 / base == pytest.approx(1000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_markov(0, 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mttdl_markov(4, 4, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mttdl_markov(4, 2, -1.0, 1.0)
+
+
+class TestReliabilityModel:
+    @pytest.fixture()
+    def model(self):
+        return ReliabilityModel(k=8, r=3)
+
+    def test_repair_times_track_fig17_ordering(self, model):
+        """EC-Fusion(MSR) ≲ HACFS-fast < LRC < RS < big-l MSR — the MSR(6,3)
+        repair moves 5/3 chunks vs HACFS-fast's 2."""
+        hours = {s: model.repair_hours(s) for s in ("rs", "msr", "lrc", "hacfs")}
+        hours["ecfusion"] = model.repair_hours("ecfusion", 1.0)
+        assert hours["ecfusion"] < hours["hacfs"] < hours["lrc"] < hours["rs"] < hours["msr"]
+
+    def test_ecfusion_beats_rs(self, model):
+        assert model.mttdl("ecfusion").mttdl_hours > model.mttdl("rs").mttdl_hours
+
+    def test_msr_baseline_least_reliable(self, model):
+        """Its compute-bound repair is the slowest, so its window is widest."""
+        ranking = model.compare()
+        assert ranking[0].scheme == "msr"
+
+    def test_mixture_between_endpoints(self, model):
+        pure_rs = model.mttdl("ecfusion", h=0.0).mttdl_hours
+        pure_msr = model.mttdl("ecfusion", h=1.0).mttdl_hours
+        mixed = model.mttdl("ecfusion", h=0.5).mttdl_hours
+        lo, hi = sorted((pure_rs, pure_msr))
+        assert lo <= mixed <= hi
+
+    def test_mttdl_years_property(self, model):
+        sr = model.mttdl("rs")
+        assert sr.mttdl_years == pytest.approx(sr.mttdl_hours / (24 * 365.25))
+
+    def test_unknown_scheme(self, model):
+        with pytest.raises(ValueError):
+            model.mttdl("raid0")
+
+    def test_invalid_mttf(self):
+        with pytest.raises(ValueError):
+            ReliabilityModel(k=8, disk_mttf_hours=0)
+
+    def test_worse_disks_lower_all_mttdls(self):
+        good = ReliabilityModel(k=8, disk_mttf_hours=2e6)
+        bad = ReliabilityModel(k=8, disk_mttf_hours=2e5)
+        for scheme in ("rs", "lrc", "ecfusion"):
+            assert bad.mttdl(scheme).mttdl_hours < good.mttdl(scheme).mttdl_hours
+
+    def test_profile_dependence(self):
+        """A faster network shrinks repair time and raises MTTDL."""
+        slow = ReliabilityModel(k=8, profile=SystemProfile(lam=125e6))
+        fast = ReliabilityModel(k=8, profile=SystemProfile(lam=1.25e9))
+        assert fast.mttdl("rs").mttdl_hours > slow.mttdl("rs").mttdl_hours

@@ -1,0 +1,111 @@
+"""Property tests on the workload driver: conservation laws and determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, run_workload
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import ECFusionPlanner, RSPlanner
+from repro.workloads import FailureEvent, OpType, Request, Trace
+
+GAMMA = 512.0 * 1024
+
+
+def small_config():
+    return ClusterConfig(num_nodes=18, profile=SystemProfile(gamma=GAMMA))
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["r", "w"]),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=30,
+)
+fails = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=3)),
+    max_size=5,
+)
+
+
+def build_trace(events):
+    return Trace(
+        name="prop",
+        requests=[
+            Request(
+                time=float(i),
+                op=OpType.READ if op == "r" else OpType.WRITE,
+                stripe=stripe,
+                block=block,
+            )
+            for i, (op, stripe, block) in enumerate(events)
+        ],
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(events=ops, failures=fails)
+def test_prop_request_conservation(events, failures):
+    """Every request and failure produces exactly one latency sample."""
+    trace = build_trace(events)
+    fail_events = [FailureEvent(0.0, s, b) for s, b in failures]
+    res = run_workload(RSPlanner(4, 2, GAMMA), trace, fail_events, small_config())
+    reads = sum(1 for e in events if e[0] == "r")
+    writes = len(events) - reads
+    assert len(res.read_latencies) == reads
+    assert len(res.write_latencies) == writes
+    assert len(res.recovery_latencies) == len(failures)
+    assert all(lat > 0 for lat in res.app_latencies)
+
+
+@settings(max_examples=15, deadline=None)
+@given(events=ops, failures=fails)
+def test_prop_deterministic_replay(events, failures):
+    """Identical inputs yield bit-identical latency samples."""
+    trace = build_trace(events)
+    fail_events = [FailureEvent(0.0, s, b) for s, b in failures]
+    a = run_workload(RSPlanner(4, 2, GAMMA), trace, fail_events, small_config())
+    b = run_workload(RSPlanner(4, 2, GAMMA), trace, fail_events, small_config())
+    assert a.read_latencies == b.read_latencies
+    assert a.write_latencies == b.write_latencies
+    assert a.recovery_latencies == b.recovery_latencies
+
+
+@settings(max_examples=15, deadline=None)
+@given(events=ops, failures=fails)
+def test_prop_sim_time_bounds_latencies(events, failures):
+    trace = build_trace(events)
+    fail_events = [FailureEvent(0.0, s, b) for s, b in failures]
+    res = run_workload(RSPlanner(4, 2, GAMMA), trace, fail_events, small_config())
+    everything = res.app_latencies + res.recovery_latencies + res.conversion_latencies
+    if everything:
+        assert res.sim_time >= max(everything) - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(events=ops, failures=fails)
+def test_prop_adaptive_scheme_also_conserves(events, failures):
+    trace = build_trace(events)
+    fail_events = [FailureEvent(0.0, s, b) for s, b in failures]
+    scheme = ECFusionPlanner(
+        4, 2, GAMMA, profile=SystemProfile(gamma=GAMMA), queue_capacity=8
+    )
+    res = run_workload(scheme, trace, fail_events, small_config())
+    assert len(res.app_latencies) == len(events)
+    assert len(res.recovery_latencies) == len(failures)
+    assert 11 / 8 <= scheme.storage_overhead() + 1e-9
+    assert scheme.storage_overhead() <= (4 + 2 * 2) / 4 + 1e-9
+
+
+def test_storage_rho_bounds_exact():
+    """ECFusion planner ρ stays within [RS shape, all-MSR shape]."""
+    scheme = ECFusionPlanner(4, 2, GAMMA, profile=SystemProfile(gamma=GAMMA))
+    assert scheme.storage_overhead() == pytest.approx(6 / 4)
+    scheme.plan_write("s")
+    scheme.plan_recovery("s", 0)
+    rho = scheme.storage_overhead()
+    assert 6 / 4 <= rho <= 8 / 4

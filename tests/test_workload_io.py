@@ -1,0 +1,99 @@
+"""Tests for workload persistence and the MSR CSV importer."""
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    FailureEvent,
+    OpType,
+    load_failures,
+    load_msr_csv,
+    load_trace,
+    make_trace,
+    save_failures,
+    save_trace,
+)
+
+
+class TestTraceJson:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace("web1", num_requests=200)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.requests == trace.requests
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "repro-trace", "version": 99}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestFailureJson:
+    def test_roundtrip(self, tmp_path):
+        events = [FailureEvent(1.5, 3, 2), FailureEvent(2.0, 0, 7)]
+        path = tmp_path / "fails.json"
+        save_failures(events, path)
+        assert load_failures(path) == events
+
+    def test_rejects_foreign(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "repro-trace"}))
+        with pytest.raises(ValueError):
+            load_failures(path)
+
+
+class TestMsrCsv:
+    CSV = (
+        "128166372003061629,usr,0,Read,834437120,8192,1326\n"
+        "128166372012246376,usr,0,Write,904337408,24576,2786\n"
+        "128166372022623370,usr,0,Read,834437120,8192,1205\n"
+    )
+
+    def test_parses_format(self, tmp_path):
+        path = tmp_path / "usr_0.csv"
+        path.write_text(self.CSV)
+        trace = load_msr_csv(path, chunk_size=64 * 1024 * 1024, blocks_per_stripe=4)
+        assert len(trace) == 3
+        assert trace.name == "usr_0"
+        assert trace.requests[0].op is OpType.READ
+        assert trace.requests[1].op is OpType.WRITE
+        assert trace.requests[0].time == 0.0
+        # 100 ns ticks: second row is ~0.918 s after the first
+        assert trace.requests[1].time == pytest.approx(0.9184747, abs=1e-3)
+        assert trace.requests[0].size == 8192.0
+
+    def test_offset_to_stripe_mapping(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CSV)
+        chunk = 64 * 1024 * 1024
+        trace = load_msr_csv(path, chunk_size=chunk, blocks_per_stripe=4)
+        expected_chunk = int(834437120 // chunk)
+        assert trace.requests[0].stripe == expected_chunk // 4
+        assert trace.requests[0].block == expected_chunk % 4
+
+    def test_same_offset_same_address(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CSV)
+        trace = load_msr_csv(path)
+        assert trace.requests[0].stripe == trace.requests[2].stripe
+        assert trace.requests[0].block == trace.requests[2].block
+
+    def test_max_requests(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CSV)
+        assert len(load_msr_csv(path, max_requests=2)) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(self.CSV + "\n\n")
+        assert len(load_msr_csv(path)) == 3

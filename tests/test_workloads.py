@@ -1,0 +1,228 @@
+"""Tests for trace modelling, synthetic generation and failure streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    TABLE_V,
+    TRACE_NAMES,
+    FailureConfig,
+    OpType,
+    Request,
+    SyntheticTraceConfig,
+    Trace,
+    failures_for_trace,
+    generate_failures,
+    generate_trace,
+    make_trace,
+    zipf_weights,
+)
+
+
+class TestTraceModel:
+    def test_requests_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            Trace(
+                name="bad",
+                requests=[
+                    Request(2.0, OpType.READ, 0, 0),
+                    Request(1.0, OpType.READ, 0, 0),
+                ],
+            )
+
+    def test_from_requests_sorts(self):
+        t = Trace.from_requests(
+            "t",
+            [Request(2.0, OpType.READ, 0, 0), Request(1.0, OpType.WRITE, 1, 0)],
+        )
+        assert [r.time for r in t] == [1.0, 2.0]
+
+    def test_stats_of_empty_trace(self):
+        stats = Trace(name="e").stats()
+        assert stats.num_requests == 0
+        assert stats.iops == 0.0
+
+    def test_head_subtrace(self):
+        t = Trace.from_requests("t", [Request(float(i), OpType.READ, 0, 0) for i in range(10)])
+        h = t.head(3)
+        assert len(h) == 3
+        assert h.requests[-1].time == 2.0
+
+    def test_stats_row_formatting(self):
+        t = Trace.from_requests(
+            "t",
+            [
+                Request(0.0, OpType.READ, 0, 0, size=1024),
+                Request(1.0, OpType.WRITE, 0, 0, size=3072),
+            ],
+        )
+        row = t.stats().row()
+        assert row[0] == 2
+        assert row[1] == "50.00%"
+        assert row[3] == "2.00 KB"
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        w = zipf_weights(100)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        w = zipf_weights(50, exponent=1.0)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_uniform_at_zero_exponent(self):
+        w = zipf_weights(10, exponent=0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestSyntheticGeneration:
+    def make_config(self, **kw):
+        defaults = dict(
+            name="t",
+            num_requests=4000,
+            read_fraction=0.7,
+            iops=10.0,
+            avg_request_size=8192.0,
+            num_stripes=32,
+            blocks_per_stripe=8,
+        )
+        defaults.update(kw)
+        return SyntheticTraceConfig(**defaults)
+
+    def test_statistics_converge_to_targets(self):
+        trace = generate_trace(self.make_config(), seed=1)
+        stats = trace.stats()
+        assert stats.num_requests == 4000
+        assert stats.read_fraction == pytest.approx(0.7, abs=0.03)
+        assert stats.iops == pytest.approx(10.0, rel=0.1)
+        assert stats.avg_request_size == pytest.approx(8192.0, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(self.make_config(), seed=5)
+        b = generate_trace(self.make_config(), seed=5)
+        assert a.requests == b.requests
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(self.make_config(), seed=1)
+        b = generate_trace(self.make_config(), seed=2)
+        assert a.requests != b.requests
+
+    def test_stripe_and_block_ranges(self):
+        trace = generate_trace(self.make_config(num_requests=500), seed=3)
+        for r in trace:
+            assert 0 <= r.stripe < 32
+            assert 0 <= r.block < 8
+
+    def test_write_once_allocates_fresh_stripes(self):
+        trace = generate_trace(self.make_config(num_requests=500), seed=3, write_once=True)
+        writes = [r for r in trace if r.op is OpType.WRITE]
+        write_ids = [r.stripe for r in writes]
+        assert len(set(write_ids)) == len(write_ids)  # all distinct
+        assert all(s >= 32 for s in write_ids)
+        reads = [r for r in trace if r.op is OpType.READ]
+        assert all(r.stripe < 32 for r in reads)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_config(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            self.make_config(iops=0)
+        with pytest.raises(ValueError):
+            self.make_config(num_stripes=0)
+
+
+class TestTableVTraces:
+    @pytest.mark.parametrize("name", TRACE_NAMES)
+    def test_statistics_match_table_v(self, name):
+        spec = TABLE_V[name]
+        trace = make_trace(name, num_requests=5000)
+        stats = trace.stats()
+        assert stats.read_fraction == pytest.approx(spec.read_fraction, abs=0.03)
+        assert stats.iops == pytest.approx(spec.iops, rel=0.1)
+        assert stats.avg_request_size == pytest.approx(spec.avg_request_size, rel=0.2)
+
+    def test_full_length_defaults(self):
+        # don't generate 1.6M requests here; just confirm the spec wiring
+        assert TABLE_V["mds1"].num_requests == 1_637_711
+
+    def test_read_ordering_matches_paper(self):
+        fracs = [TABLE_V[n].read_fraction for n in TRACE_NAMES]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_unknown_trace(self):
+        with pytest.raises(KeyError):
+            make_trace("nope")
+
+
+class TestFailures:
+    def base_config(self, **kw):
+        defaults = dict(count=50, horizon=1000.0, num_stripes=20, blocks_per_stripe=8)
+        defaults.update(kw)
+        return FailureConfig(**defaults)
+
+    def test_count_and_ordering(self):
+        events = generate_failures(self.base_config(), seed=0)
+        assert len(events) == 50
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_addresses_in_range(self):
+        for e in generate_failures(self.base_config(), seed=1):
+            assert 0 <= e.stripe < 20
+            assert 0 <= e.block < 8
+
+    def test_deterministic(self):
+        a = generate_failures(self.base_config(), seed=2)
+        b = generate_failures(self.base_config(), seed=2)
+        assert a == b
+
+    def test_zero_count(self):
+        assert generate_failures(self.base_config(count=0)) == []
+
+    def test_spatial_locality_concentrates(self):
+        spread = generate_failures(self.base_config(spatial_decay=0.0), seed=3)
+        tight = generate_failures(self.base_config(spatial_decay=100.0), seed=3)
+        unique_spread = len({e.stripe for e in spread})
+        unique_tight = len({e.stripe for e in tight})
+        assert unique_tight < unique_spread
+
+    def test_no_immediate_repeat(self):
+        events = generate_failures(self.base_config(spatial_decay=500.0), seed=4)
+        for prev, cur in zip(events, events[1:]):
+            assert (prev.stripe, prev.block) != (cur.stripe, cur.block)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureConfig(count=-1, horizon=10, num_stripes=5, blocks_per_stripe=2)
+        with pytest.raises(ValueError):
+            FailureConfig(count=1, horizon=0, num_stripes=5, blocks_per_stripe=2)
+
+    def test_failures_for_trace_scaling(self):
+        trace = make_trace("web1", num_requests=1000)
+        events = failures_for_trace(trace, blocks_per_stripe=8, rate=0.01)
+        assert len(events) == 10
+
+    def test_failures_restricted_to_base_set(self):
+        trace = make_trace("web1", num_requests=500, num_stripes=16, write_once=True)
+        events = failures_for_trace(trace, blocks_per_stripe=8, num_stripes=16)
+        assert all(e.stripe < 16 for e in events)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    count=st.integers(min_value=1, max_value=40),
+)
+def test_prop_failure_times_strictly_increase(seed, count):
+    config = FailureConfig(count=count, horizon=100.0, num_stripes=8, blocks_per_stripe=4)
+    events = generate_failures(config, seed=seed)
+    times = [e.time for e in events]
+    assert all(b > a for a, b in zip(times, times[1:]))
