@@ -3,16 +3,29 @@
 Run with::
 
     python examples/failure_storm.py
+    python examples/failure_storm.py --trace storm.jsonl   # + telemetry trace
 
 Kills one storage node mid-workload and shows (1) how each scheme drains
 the resulting recovery storm, (2) what an HDFS-style repair-bandwidth cap
 buys the foreground at the cost of a longer exposed window, and (3) how
 rack-aware placement bounds the blast radius of a failure domain.
+
+With ``--trace PATH`` the run also records structured telemetry events
+(requests, recoveries, node-storm fan-out) and writes them to ``PATH`` as
+JSONL — ``docs/telemetry.md`` walks through reading the result.
 """
 
+import sys
+
+from repro import telemetry
 from repro.cluster import ClusterConfig, NameNode, run_workload
 from repro.experiments import SCHEME_ORDER, ExperimentConfig, build_schemes, format_table
 from repro.workloads import NodeFailureEvent, make_trace
+
+TRACE_PATH = None
+if "--trace" in sys.argv:
+    TRACE_PATH = sys.argv[sys.argv.index("--trace") + 1]
+    telemetry.enable(tracing=True)
 
 exp = ExperimentConfig(num_requests=150, num_stripes=24)
 trace = make_trace(
@@ -82,3 +95,7 @@ for racks in (1, 4):
     label = "flat placement, one node" if racks == 1 else f"{racks} racks, whole rack"
     print(f"3) worst chunks lost per stripe ({label}): {worst} "
           f"(tolerance is r = 3 -> {'SAFE' if worst <= 3 else 'DATA LOSS RISK'})")
+
+if TRACE_PATH:
+    count = telemetry.TRACER.dump_jsonl(TRACE_PATH)
+    print(f"\nwrote {count} trace events to {TRACE_PATH}")

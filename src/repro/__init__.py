@@ -4,8 +4,9 @@ Reproduces Qiu et al., *EC-Fusion* (IPDPS 2020): erasure codes over
 GF(2⁸) (:mod:`repro.codes`), the adaptive fusion framework
 (:mod:`repro.fusion`), baseline schemes (:mod:`repro.hybrid`), an
 HDFS-like cluster simulator (:mod:`repro.cluster`), workload generators
-(:mod:`repro.workloads`), metrics (:mod:`repro.metrics`) and the paper's
-full evaluation (:mod:`repro.experiments`).
+(:mod:`repro.workloads`), metrics (:mod:`repro.metrics`), opt-in
+observability (:mod:`repro.telemetry`) and the paper's full evaluation
+(:mod:`repro.experiments`).
 
 The most common entry points are re-exported here.
 """

@@ -7,9 +7,18 @@ Usage::
     python -m repro fig16 --requests 800 # simulation figures
     python -m repro table7 --k 8 6
     python -m repro all                  # the whole evaluation
+    python -m repro fig16 stats          # ...plus the telemetry metrics table
+    python -m repro fig16 --trace t.jsonl  # dump structured trace events
 
 Simulation-backed commands share one memoised campaign per configuration,
 so ``all`` costs barely more than its slowest member.
+
+``stats`` is a pseudo-experiment: it enables the telemetry registry before
+anything runs and prints the collected metrics table afterwards.  On its
+own (``python -m repro stats``) it drives one compact simulation campaign
+so the table is never empty.  ``--trace PATH`` additionally buffers
+structured trace events and writes them to ``PATH`` as JSONL on exit (see
+``docs/telemetry.md`` for the schema).
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import telemetry
 from .experiments import (
     ExperimentConfig,
     eta_landscape,
@@ -117,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (fig13..fig19, table7), 'all', or 'list'",
+        help="experiment names (fig13..fig19, table7), 'all', 'list', or 'stats'",
     )
     parser.add_argument("--k", type=int, nargs="+", default=[6, 8], help="stripe widths")
     parser.add_argument(
@@ -128,6 +138,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--failure-rate", type=float, default=None, help="failures per request"
     )
     parser.add_argument("--seed", type=int, default=None, help="workload seed")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record structured trace events and write them to PATH as JSONL",
+    )
     return parser
 
 
@@ -144,6 +160,19 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(**overrides)
 
 
+def _stats_fallback_config(args: argparse.Namespace) -> ExperimentConfig:
+    """A compact simulation config for standalone ``stats`` invocations."""
+    overrides = {
+        "num_requests": args.requests if args.requests is not None else 150,
+        "num_stripes": args.stripes if args.stripes is not None else 24,
+    }
+    if args.failure_rate is not None:
+        overrides["failure_rate"] = args.failure_rate
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return ExperimentConfig(**overrides)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
@@ -151,22 +180,47 @@ def main(argv: list[str] | None = None) -> int:
     if names == ["list"]:
         for name, (_, desc, _sim) in EXPERIMENTS.items():
             print(f"  {name:8s} {desc}")
+        print("  stats    telemetry metrics table for everything run this invocation")
         return 0
+
+    want_stats = "stats" in names
+    names = [n for n in names if n != "stats"]
+    if args.trace is not None:
+        try:  # fail fast: don't run a whole campaign before a bad path errors
+            open(args.trace, "w").close()
+        except OSError as exc:
+            print(f"cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+    if want_stats or args.trace is not None:
+        telemetry.enable(metrics=True, tracing=args.trace is not None)
+
     if "all" in names:
         names = list(EXPERIMENTS)
 
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"choose from: {', '.join(EXPERIMENTS)} | all | list", file=sys.stderr)
+        print(
+            f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats",
+            file=sys.stderr,
+        )
         return 2
 
     config = config_from_args(args)
     ks = tuple(args.k)
+    if not names and (want_stats or args.trace is not None):
+        # standalone stats/trace: drive one compact campaign so there is
+        # something to report (fig16's campaign exercises every layer)
+        fig16_application.compute(_stats_fallback_config(args))
     for name in names:
         runner, _, _ = EXPERIMENTS[name]
         print(runner(config, ks))
         print()
+    if args.trace is not None:
+        count = telemetry.TRACER.dump_jsonl(args.trace)
+        print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
+    if want_stats:
+        print(telemetry.render_metrics_table())
     return 0
 
 

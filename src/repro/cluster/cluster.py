@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..fusion.costmodel import SystemProfile
 from ..hybrid.planners import SchemePlanner
 from ..hybrid.plans import PlanKind
+from ..telemetry import METRICS, TRACER
 from ..workloads.failures import FailureEvent, NodeFailureEvent
 from ..workloads.trace import OpType, Trace
 from .client import Client, PlanExecutor
@@ -196,6 +197,37 @@ def _split_plans(plans):
     return conversions, main
 
 
+def _observe_conversion(result, scheme_name, stripe, start, now):
+    """Record one in-simulation code conversion (latency + telemetry)."""
+    latency = now - start
+    result.conversion_latencies.append(latency)
+    if METRICS.enabled:
+        METRICS.counter("cluster.conversions", unit="conversions").inc()
+        METRICS.histogram("cluster.latency.conversion", unit="s").observe(latency)
+    if TRACER.enabled:
+        TRACER.emit(
+            "conversion", ts=now, scheme=scheme_name, stripe=stripe, latency=latency
+        )
+
+
+def _observe_recovery(result, scheme_name, stripe, block, start, now):
+    """Record one completed reconstruction (latency + telemetry)."""
+    latency = now - start
+    result.recovery_latencies.append(latency)
+    if METRICS.enabled:
+        METRICS.counter("cluster.recoveries", unit="jobs").inc()
+        METRICS.histogram("cluster.latency.recovery", unit="s").observe(latency)
+    if TRACER.enabled:
+        TRACER.emit(
+            "recovery",
+            ts=now,
+            scheme=scheme_name,
+            stripe=stripe,
+            block=block,
+            latency=latency,
+        )
+
+
 def run_workload(
     scheme: SchemePlanner,
     trace: Trace,
@@ -249,6 +281,7 @@ def run_workload(
                 fail_triggers[j].succeed()
 
     def run_request(req):
+        degraded = False
         if req.op is OpType.WRITE:
             plans = scheme.plan_write(req.stripe)
             failed_blocks.difference_update(
@@ -257,6 +290,9 @@ def run_workload(
         elif (req.stripe, req.block) in failed_blocks:
             plans = scheme.plan_degraded_read(req.stripe, req.block)
             result.degraded_reads += 1
+            degraded = True
+            if METRICS.enabled:
+                METRICS.counter("cluster.degraded_reads", unit="requests").inc()
         else:
             plans = scheme.plan_read(req.stripe, req.block)
         conversions, main = _split_plans(plans)
@@ -267,14 +303,28 @@ def run_workload(
                     conversions, req.stripe, cluster.client.cpu, cluster.client.nic
                 )
             )
-            result.conversion_latencies.append(sim.now - start)
+            _observe_conversion(result, scheme.name, req.stripe, start, sim.now)
         start = sim.now
         yield sim.process(cluster.client.submit(main, req.stripe))
         latency = sim.now - start
+        op_name = "write" if req.op is OpType.WRITE else "read"
         if req.op is OpType.WRITE:
             result.write_latencies.append(latency)
         else:
             result.read_latencies.append(latency)
+        if METRICS.enabled:
+            METRICS.counter(f"cluster.requests.{op_name}", unit="requests").inc()
+            METRICS.histogram(f"cluster.latency.{op_name}", unit="s").observe(latency)
+        if TRACER.enabled:
+            TRACER.emit(
+                "request",
+                ts=sim.now,
+                scheme=scheme.name,
+                op=op_name,
+                stripe=req.stripe,
+                latency=latency,
+                degraded=degraded,
+            )
         progress["done"] += 1
         fire_due_triggers()
 
@@ -298,11 +348,11 @@ def run_workload(
         if conversions:
             start = sim.now
             yield sim.process(cluster.recovery.submit(conversions, event.stripe))
-            result.conversion_latencies.append(sim.now - start)
+            _observe_conversion(result, scheme.name, event.stripe, start, sim.now)
             worker_plans = main
         start = sim.now
         yield sim.process(cluster.recovery.submit(worker_plans, event.stripe))
-        result.recovery_latencies.append(sim.now - start)
+        _observe_recovery(result, scheme.name, event.stripe, event.block, start, sim.now)
         failed_blocks.discard((event.stripe, event.block))
 
     def chunk_losses_on(node: int) -> list[FailureEvent]:
@@ -331,13 +381,23 @@ def run_workload(
                 if conversions:
                     start = sim.now
                     yield sim.process(cluster.recovery.submit(conversions, loss.stripe))
-                    result.conversion_latencies.append(sim.now - start)
+                    _observe_conversion(result, scheme.name, loss.stripe, start, sim.now)
                 start = sim.now
                 yield sim.process(cluster.recovery.submit(main, loss.stripe))
-                result.recovery_latencies.append(sim.now - start)
+                _observe_recovery(
+                    result, scheme.name, loss.stripe, loss.block, start, sim.now
+                )
                 failed_blocks.discard((loss.stripe, loss.block))
 
             jobs.append(sim.process(storm_job()))
+        if TRACER.enabled:
+            TRACER.emit(
+                "node-storm",
+                ts=sim.now,
+                scheme=scheme.name,
+                node=event.node,
+                jobs=len(jobs),
+            )
         if jobs:
             yield sim.all_of(jobs)
 

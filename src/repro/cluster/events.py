@@ -19,6 +19,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Generator, Iterable
 
+from ..telemetry import METRICS
+
 __all__ = ["Event", "Simulator", "Process", "AllOf", "FIFOResource"]
 
 
@@ -79,6 +81,8 @@ class Simulator:
             raise ValueError("cannot schedule into the past")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if METRICS.enabled:
+            METRICS.gauge("sim.heap_depth", unit="events").set(len(self._heap))
         return event
 
     def timeout(self, delay: float) -> Event:
@@ -162,6 +166,9 @@ class FIFOResource:
     def __init__(self, sim: Simulator, name: str = "resource"):
         self.sim = sim
         self.name = name
+        # resources are named "disk3"/"nic0"/"client-cpu"; metrics aggregate
+        # over the class, so "disk3" and "disk7" share the "disk" series
+        self.metric_key = name.rstrip("0123456789") or name
         self._busy = False
         self._waiting: list[Event] = []
         self.busy_time = 0.0
@@ -190,8 +197,16 @@ class FIFOResource:
         """Generator helper: hold the resource for ``duration`` seconds."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        queued_at = self.sim.now
         yield self.acquire()
         self.busy_time += duration
         self.served += 1
+        if METRICS.enabled:
+            key = self.metric_key
+            METRICS.histogram(f"sim.queue_wait.{key}", unit="s").observe(
+                self.sim.now - queued_at
+            )
+            METRICS.counter(f"sim.busy_time.{key}", unit="s").inc(duration)
+            METRICS.counter(f"sim.served.{key}", unit="requests").inc()
         yield self.sim.timeout(duration)
         self.release()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Generator
 
+from ..telemetry import METRICS
 from .events import FIFOResource, Simulator
 
 __all__ = ["Link", "Cpu"]
@@ -49,6 +50,10 @@ class Link(FIFOResource):
     def transfer(self, nbytes: float) -> Generator:
         """Generator: occupy the link for one transfer."""
         self.bytes_moved += nbytes
+        if METRICS.enabled:
+            METRICS.counter(f"cluster.net.bytes.{self.metric_key}", unit="bytes").inc(
+                nbytes
+            )
         yield from self.use(self.transfer_time(nbytes))
 
 
@@ -71,4 +76,6 @@ class Cpu(FIFOResource):
     def compute(self, ops: float) -> Generator:
         """Generator: occupy the CPU for ``ops`` GF operations."""
         self.ops_done += ops
+        if METRICS.enabled:
+            METRICS.counter(f"cluster.cpu.ops.{self.metric_key}", unit="gf-ops").inc(ops)
         yield from self.use(self.compute_time(ops))

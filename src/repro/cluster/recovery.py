@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Generator, Hashable
 
 from ..hybrid.plans import OpPlan
+from ..telemetry import METRICS
 from .client import PlanExecutor
 from .network import Link
 
@@ -56,5 +57,14 @@ class RecoveryManager:
         if self.throttle is not None:
             for plan in plans:
                 yield from self.throttle.transfer(plan.transfer_bytes)
+        if METRICS.enabled:
+            METRICS.counter("cluster.recovery.jobs", unit="jobs").inc()
+            METRICS.counter("cluster.recovery.bytes_read", unit="bytes").inc(
+                sum(plan.bytes_read for plan in plans)
+            )
+            # fan-in: how many helper nodes the job pulls from (repair width)
+            METRICS.histogram("cluster.recovery.fan_in", unit="nodes").observe(
+                max((len(plan.reads) for plan in plans), default=0)
+            )
         yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
         self.jobs_completed += 1

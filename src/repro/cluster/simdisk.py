@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from typing import Generator
 
+from ..telemetry import METRICS
 from .events import FIFOResource, Simulator
 
 __all__ = ["Disk"]
@@ -59,9 +60,13 @@ class Disk(FIFOResource):
     def read(self, nbytes: float) -> Generator:
         """Generator: occupy the disk for one read."""
         self.bytes_read += nbytes
+        if METRICS.enabled:
+            METRICS.counter("cluster.disk.bytes_read", unit="bytes").inc(nbytes)
         yield from self.use(self.access_time(nbytes))
 
     def write(self, nbytes: float) -> Generator:
         """Generator: occupy the disk for one write."""
         self.bytes_written += nbytes
+        if METRICS.enabled:
+            METRICS.counter("cluster.disk.bytes_written", unit="bytes").inc(nbytes)
         yield from self.use(self.access_time(nbytes))

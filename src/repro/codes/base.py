@@ -28,6 +28,7 @@ import numpy as np
 
 from ..gf import GF, apply_to_blocks, inverse
 from ..gf.matrix import independent_rows
+from ..telemetry import METRICS
 
 __all__ = [
     "CodeError",
@@ -100,6 +101,15 @@ class ErasureCode(abc.ABC):
     def name(self) -> str:
         """Short human-readable identifier, e.g. ``RS(8,3)``."""
         return f"{type(self).__name__}({self.k},{self.r})"
+
+    @property
+    def telemetry_key(self) -> str:
+        """Metric namespace: counters land under ``codes.<key>.*``.
+
+        Defaults to the lowercased class name; RS/MSR override it with
+        their conventional short names.
+        """
+        return type(self).__name__.replace("Code", "").lower()
 
     @property
     def storage_overhead(self) -> float:
@@ -261,6 +271,14 @@ class LinearVectorCode(ErasureCode):
         parity_rows = self.generator[self.k * l :]
         parity_syms = apply_to_blocks(parity_rows, syms, w=self.w)
         out = np.concatenate([syms, parity_syms], axis=0)
+        if METRICS.enabled:
+            key = self.telemetry_key
+            METRICS.counter(f"codes.{key}.encode_calls", unit="calls").inc()
+            # GF-multiply volume: one coefficient x byte MAC per parity-matrix
+            # entry per symbol column -> r·l x k·l x L/l = r·k·l·L bytes
+            METRICS.counter(f"codes.{key}.gf_mul_bytes", unit="bytes").inc(
+                self.r * self.k * l * data.shape[1]
+            )
         return self._to_blocks(out, self.n)
 
     # -- decode ----------------------------------------------------------------
@@ -319,6 +337,13 @@ class LinearVectorCode(ErasureCode):
         order = {node: pos for pos, node in enumerate(sorted(avail))}
         local_rows = [order[row // l] * l + (row % l) for row in symbol_rows]
         data_syms = apply_to_blocks(solve_matrix, syms[local_rows], w=self.w)
+        if METRICS.enabled:
+            key = self.telemetry_key
+            METRICS.counter(f"codes.{key}.decode_calls", unit="calls").inc()
+            # solve matrix is (k·l)² entries applied to L/l columns
+            METRICS.counter(f"codes.{key}.gf_mul_bytes", unit="bytes").inc(
+                self.k * self.k * l * L
+            )
         return self._to_blocks(data_syms, self.k)
 
     def decode(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
@@ -334,6 +359,8 @@ class LinearVectorCode(ErasureCode):
         shards = self._check_shards(shards)
         if failed in shards:
             raise ValueError(f"node {failed} is present in the supplied shards")
+        if METRICS.enabled:
+            METRICS.counter(f"codes.{self.telemetry_key}.repair_calls", unit="calls").inc()
         full = self.decode(shards)
         wanted = self.repair_read_fractions(failed)
         used = {i: shards[i] for i in wanted if i in shards}

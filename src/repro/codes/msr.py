@@ -36,6 +36,7 @@ from typing import Mapping
 import numpy as np
 
 from ..gf import GF, apply_to_blocks, cauchy, inverse, is_invertible, solve
+from ..telemetry import METRICS
 from .base import LinearVectorCode, ParameterError, RepairResult, UnrecoverableError
 
 __all__ = ["MSRCode"]
@@ -118,6 +119,9 @@ class MSRCode(LinearVectorCode):
         raise ParameterError(
             f"no valid coupling coefficient found for MSR({n},{k}): {last_err}"
         )
+
+    #: counters land under ``codes.msr.*``
+    telemetry_key = "msr"
 
     # ------------------------------------------------------------------ layout
     @property
@@ -327,4 +331,18 @@ class MSRCode(LinearVectorCode):
                 failed_block[z_dst] = c_f
 
         bytes_read = {i: len(planes) * sub for i in helpers}
+        if METRICS.enabled:
+            METRICS.counter("codes.msr.repair_calls", unit="calls").inc()
+            # estimated MAC volume per repaired plane: uncouple the n-r known
+            # symbols (2 muls each), the r x (n-r) rhs matmul, the r x r solve,
+            # and ~3 muls per coupling pair rebuilt
+            per_plane = (
+                2 * len(known_nodes)
+                + self.r * len(known_nodes)
+                + self.r * self.r
+                + 3 * (self.s - 1)
+            )
+            METRICS.counter("codes.msr.gf_mul_bytes", unit="bytes").inc(
+                len(planes) * sub * per_plane
+            )
         return RepairResult(block=failed_block.reshape(L), bytes_read=bytes_read)

@@ -21,6 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from ..gf import systematic_rs_parity
+from ..telemetry import METRICS
 from .base import LinearVectorCode, ParameterError, RepairResult
 
 __all__ = ["ReedSolomonCode"]
@@ -51,6 +52,9 @@ class ReedSolomonCode(LinearVectorCode):
         #: the r×k parity-coefficient matrix P (p = P @ d)
         self.parity_matrix = parity
 
+    #: counters land under ``codes.rs.*``
+    telemetry_key = "rs"
+
     @property
     def name(self) -> str:
         return f"RS({self.k},{self.r})"
@@ -65,6 +69,8 @@ class ReedSolomonCode(LinearVectorCode):
         shards = self._check_shards(shards)
         if failed in shards:
             raise ValueError(f"node {failed} is present in the supplied shards")
+        if METRICS.enabled:
+            METRICS.counter("codes.rs.repair_calls", unit="calls").inc()
         helpers = sorted(shards)[: self.k]
         full = self.decode({i: shards[i] for i in helpers})
         bytes_read = {i: shards[i].shape[0] for i in helpers}

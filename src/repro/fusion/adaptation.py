@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Hashable
 
+from ..telemetry import METRICS, TRACER
 from .costmodel import CostModel
 from .queues import CachePolicy, TrackingQueue
 
@@ -96,8 +97,8 @@ class AdaptiveSelector:
         self.default = default
         self.idle_window = idle_window
         self._events = 0
-        self.queue1 = TrackingQueue(queue_capacity, policy)  # application accesses
-        self.queue2 = TrackingQueue(queue_capacity, policy)  # recovery requests
+        self.queue1 = TrackingQueue(queue_capacity, policy, name="queue1")  # app accesses
+        self.queue2 = TrackingQueue(queue_capacity, policy, name="queue2")  # recoveries
         self._flags: dict[Hashable, CodeKind] = {}
         self._writes: dict[Hashable, int] = defaultdict(int)
         self._recoveries: dict[Hashable, int] = defaultdict(int)
@@ -173,6 +174,19 @@ class AdaptiveSelector:
         self._flags[stripe] = target
         conv = Conversion(stripe=stripe, target=target, trigger=trigger)
         self.conversions.append(conv)
+        if METRICS.enabled:
+            METRICS.counter(f"fusion.conversions.to_{target.value}", unit="stripes").inc()
+            METRICS.counter(f"fusion.trigger.{trigger}", unit="conversions").inc()
+        if TRACER.enabled:
+            delta = self.delta(stripe)
+            TRACER.emit(
+                "adapt",
+                ts=float(self._events),  # selector event index, not seconds
+                stripe=stripe,
+                target=target.value,
+                trigger=trigger,
+                delta=delta if delta != float("inf") else None,
+            )
         return conv
 
     # -- reporting ----------------------------------------------------------

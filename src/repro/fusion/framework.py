@@ -19,6 +19,7 @@ from typing import Hashable
 
 import numpy as np
 
+from ..telemetry import METRICS
 from .adaptation import AdaptiveSelector, CodeKind, Conversion
 from .costmodel import CostModel, SystemProfile
 from .queues import CachePolicy
@@ -121,6 +122,8 @@ class ECFusion:
             raise ValueError(
                 f"block length must be a multiple of {self.msr.subpacketization}"
             )
+        if METRICS.enabled:
+            METRICS.counter("fusion.store.writes", unit="stripes").inc()
         conversions = self.selector.on_write(stripe)
         # idle-expiry may revert *other* stripes; the written stripe itself
         # is re-encoded below, so its own flip needs no transformation
@@ -140,6 +143,8 @@ class ECFusion:
         if not 0 <= block < self.k:
             raise ValueError(f"data block index {block} out of range")
         store = self._locate(stripe)
+        if METRICS.enabled:
+            METRICS.counter("fusion.store.reads", unit="blocks").inc()
         self._apply_conversions(self.selector.on_read(stripe))
         if store.kind is CodeKind.RS:
             return store.rs_blocks[block]
@@ -182,6 +187,11 @@ class ECFusion:
             res = self.msr.repair(j, shards)
             grp[j] = res.block
         self.repair_bytes_read += res.total_bytes_read
+        if METRICS.enabled:
+            METRICS.counter("fusion.store.recoveries", unit="blocks").inc()
+            METRICS.counter("fusion.store.repair_bytes_read", unit="bytes").inc(
+                res.total_bytes_read
+            )
         return RecoveryReport(
             stripe=stripe,
             block=block,

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Hashable, Iterator
 
+from ..telemetry import METRICS
+
 __all__ = ["CachePolicy", "QueueEntry", "TrackingQueue"]
 
 
@@ -51,11 +53,17 @@ class TrackingQueue:
     1
     """
 
-    def __init__(self, capacity: int, policy: CachePolicy = CachePolicy.LRU):
+    def __init__(
+        self,
+        capacity: int,
+        policy: CachePolicy = CachePolicy.LRU,
+        name: str = "queue",
+    ):
         if capacity <= 0:
             raise ValueError("queue capacity must be positive")
         self.capacity = capacity
         self.policy = CachePolicy(policy)
+        self.name = name
         self._entries: OrderedDict[Hashable, QueueEntry] = OrderedDict()
         self._clock = 0
         self.total_hits = 0
@@ -77,11 +85,19 @@ class TrackingQueue:
             entry.hits += 1
             entry.last_touch = touch
             self._entries.move_to_end(key)
+            if METRICS.enabled:
+                METRICS.counter(f"fusion.{self.name}.hits", unit="records").inc()
             return []
         evicted: list[QueueEntry] = []
         while len(self._entries) >= self.capacity:
             evicted.append(self._evict_one())
         self._entries[key] = QueueEntry(key=key, hits=1, last_touch=touch)
+        if METRICS.enabled:
+            METRICS.counter(f"fusion.{self.name}.misses", unit="records").inc()
+            if evicted:
+                METRICS.counter(f"fusion.{self.name}.evictions", unit="entries").inc(
+                    len(evicted)
+                )
         return evicted
 
     def _evict_one(self) -> QueueEntry:
@@ -109,6 +125,10 @@ class TrackingQueue:
         for entry in victims:
             del self._entries[entry.key]
             self.total_evictions += 1
+        if victims and METRICS.enabled:
+            METRICS.counter(f"fusion.{self.name}.expirations", unit="entries").inc(
+                len(victims)
+            )
         return victims
 
     @property

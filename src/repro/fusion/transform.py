@@ -34,6 +34,7 @@ import numpy as np
 
 from ..codes import MSRCode, ReedSolomonCode
 from ..gf import apply_to_blocks, cauchy, inverse, matmul
+from ..telemetry import METRICS
 
 __all__ = ["TransformCost", "RsToMsrResult", "MsrToRsResult", "FusionTransformer"]
 
@@ -211,6 +212,13 @@ class FusionTransformer:
             else:
                 grp_data = groups[i]
             out_groups.append(np.concatenate([grp_data, msr_par], axis=0))
+        if METRICS.enabled:
+            # naive re-encode would read all k data blocks; the intermediary
+            # highway derives the last group's p' from the RS parities instead
+            saved = (self.k - cost.data_blocks_read) * L
+            METRICS.counter("fusion.transform.rs_to_msr", unit="conversions").inc()
+            METRICS.counter("fusion.transform.gf_ops", unit="gf-ops").inc(cost.gf_ops)
+            METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(saved)
         return RsToMsrResult(groups=out_groups, cost=cost)
 
     def msr_to_rs(self, msr_parities: list[np.ndarray]) -> MsrToRsResult:
@@ -235,6 +243,12 @@ class FusionTransformer:
             cost.parity_blocks_read += self.r
             cost.gf_ops += self.trans1[i].size * (L / self.subpacketization)
         cost.blocks_written = self.r
+        if METRICS.enabled:
+            # naive re-encode would read all k data blocks; Trans1 works from
+            # the q·r MSR parity blocks alone (eq. (6))
+            METRICS.counter("fusion.transform.msr_to_rs", unit="conversions").inc()
+            METRICS.counter("fusion.transform.gf_ops", unit="gf-ops").inc(cost.gf_ops)
+            METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(self.k * L)
         return MsrToRsResult(parity=acc, cost=cost)
 
     # -------------------------------------------------------------- validation

@@ -1,0 +1,71 @@
+"""Opt-in observability: metrics registry + structured tracing.
+
+Every layer of the reproduction — the discrete-event kernel, the cluster
+substrate, the fusion pipeline and the codecs — records into one shared
+:data:`METRICS` registry and one shared :data:`TRACER` recorder.  Both
+start **disabled**: an instrumented hot path costs a single attribute
+lookup until :func:`enable` flips the switch, so simulation results and
+codec throughput are unchanged for users who never ask for telemetry.
+
+Typical session::
+
+    from repro import telemetry
+    telemetry.enable(tracing=True)
+    ...  # run a workload / experiment
+    print(telemetry.render_metrics_table())
+    telemetry.TRACER.dump_jsonl("trace.jsonl")
+    telemetry.disable()
+
+The CLI wires the same switches to ``python -m repro stats`` and
+``python -m repro <experiment> --trace out.jsonl``; the metric catalogue
+and trace-event schema are documented in ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+)
+from .report import render_metrics_table
+from .tracing import TRACER, TraceEvent, TraceRecorder
+
+__all__ = [
+    "METRICS",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceRecorder",
+    "default_buckets",
+    "render_metrics_table",
+    "enable",
+    "disable",
+    "reset",
+]
+
+
+def enable(metrics: bool = True, tracing: bool = False) -> None:
+    """Switch the default registry (and optionally the tracer) on."""
+    if metrics:
+        METRICS.enable()
+    if tracing:
+        TRACER.enable()
+
+
+def disable() -> None:
+    """Switch both the default registry and the default tracer off."""
+    METRICS.disable()
+    TRACER.disable()
+
+
+def reset() -> None:
+    """Clear all recorded metrics and buffered trace events."""
+    METRICS.reset()
+    TRACER.clear()

@@ -1,0 +1,251 @@
+"""Zero-dependency metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is *opt-in*: every instrumented site in the package guards
+its recording with ``if METRICS.enabled:`` so the hot path pays a single
+attribute lookup while telemetry is off (the default).  When enabled, a
+metric is fetched (or lazily created) by name from one shared dictionary,
+so call sites never hold references that a :func:`reset` would orphan.
+
+Metric names are dotted paths grouped by layer, e.g.
+``sim.queue_wait.disk`` or ``fusion.transform.bytes_saved``; the full
+catalogue lives in ``docs/telemetry.md``.
+
+Examples
+--------
+>>> reg = MetricsRegistry(enabled=True)
+>>> reg.counter("demo.calls").inc()
+>>> reg.counter("demo.calls").value
+1.0
+>>> h = reg.histogram("demo.wait", unit="s")
+>>> for v in (0.001, 0.002, 0.004):
+...     h.observe(v)
+>>> h.count
+3
+"""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "default_buckets",
+]
+
+
+class Counter:
+    """A monotonically increasing sum (calls, bytes, operations)."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the running total."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (stable keys: type/unit/value)."""
+        return {"type": "counter", "unit": self.unit, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level that also remembers its high-water mark."""
+
+    __slots__ = ("name", "unit", "value", "high_water")
+
+    def __init__(self, name: str, unit: str = ""):
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level; the high-water mark tracks the max."""
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def snapshot(self) -> dict:
+        """Plain-dict view including the high-water mark."""
+        return {
+            "type": "gauge",
+            "unit": self.unit,
+            "value": self.value,
+            "high_water": self.high_water,
+        }
+
+
+def default_buckets() -> list[float]:
+    """Half-decade geometric bucket bounds covering 1 ns .. 1 Tunit.
+
+    One fixed ladder serves both latencies (seconds) and volumes (bytes):
+    percentile estimates are then accurate to about a factor of
+    sqrt(10) ~ 3.2, which is enough to tell a microsecond queue blip from
+    a millisecond stall without per-metric tuning.
+    """
+    bounds = []
+    for decade in range(-9, 13):
+        bounds.append(10.0**decade)
+        bounds.append(10.0**decade * 3.1622776601683795)
+    return bounds
+
+
+class Histogram:
+    """Fixed-bucket histogram with rank-based percentile estimates.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value (one final overflow bucket catches the rest).  ``percentile``
+    returns the upper bound of the bucket holding the requested rank —
+    the Prometheus-style estimate, biased high by at most one bucket
+    width.  Exact ``count``/``total``/``min``/``max`` are kept alongside.
+    """
+
+    __slots__ = ("name", "unit", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, unit: str = "", buckets: list[float] | None = None):
+        self.name = name
+        self.unit = unit
+        self.bounds = sorted(buckets) if buckets else default_buckets()
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]) from the bucket counts."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen > rank:
+                if i < len(self.bounds):
+                    return min(self.bounds[i], self.max)
+                return self.max  # overflow bucket: best remaining estimate
+        return self.max
+
+    def snapshot(self) -> dict:
+        """Plain-dict view with count/mean and p50/p95/p99 estimates."""
+        return {
+            "type": "histogram",
+            "unit": self.unit,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and an on/off switch.
+
+    Every accessor returns the same object for the same name, so call
+    sites can re-fetch by name each time (the idiomatic pattern under an
+    ``if METRICS.enabled:`` guard) without losing state.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; the module-level :data:`METRICS` default registry
+        starts disabled so library users pay nothing until they opt in.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording at every instrumented site."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (existing values are kept until :meth:`reset`)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every metric (state returns to a fresh registry)."""
+        self._metrics.clear()
+
+    # -- get-or-create accessors -------------------------------------------
+    def _fetch(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        """The counter called ``name``, created on first use."""
+        return self._fetch(name, Counter, unit=unit)
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        return self._fetch(name, Gauge, unit=unit)
+
+    def histogram(
+        self, name: str, unit: str = "", buckets: list[float] | None = None
+    ) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        return self._fetch(name, Histogram, unit=unit, buckets=buckets)
+
+    # -- queries -----------------------------------------------------------
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The metric called ``name``, or None if never recorded."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every metric's plain-dict view keyed by name (JSON-friendly)."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+#: The process-wide default registry every instrumented site records to.
+#: Disabled at import time — enable with ``repro.telemetry.enable()``.
+METRICS = MetricsRegistry(enabled=False)

@@ -1,0 +1,56 @@
+"""Render a metrics registry as a fixed-width table (``python -m repro stats``).
+
+Kept free of any other repro import so the telemetry package stays a
+leaf dependency every layer can use.
+"""
+
+from __future__ import annotations
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, METRICS
+
+__all__ = ["render_metrics_table"]
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting: integers stay exact, floats get 4 sig figs."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _row(metric) -> list[str]:
+    if isinstance(metric, Counter):
+        return [metric.name, "counter", _fmt(metric.value), metric.unit, ""]
+    if isinstance(metric, Gauge):
+        detail = f"high_water={_fmt(metric.high_water)}"
+        return [metric.name, "gauge", _fmt(metric.value), metric.unit, detail]
+    if isinstance(metric, Histogram):
+        detail = (
+            f"mean={_fmt(metric.mean)} p50={_fmt(metric.percentile(0.5))} "
+            f"p95={_fmt(metric.percentile(0.95))} max={_fmt(metric.max)}"
+        )
+        return [metric.name, "histogram", _fmt(metric.count), metric.unit, detail]
+    raise TypeError(f"unknown metric type {type(metric).__name__}")
+
+
+def render_metrics_table(registry: MetricsRegistry | None = None) -> str:
+    """ASCII table of every metric in ``registry`` (default: the global one).
+
+    Histogram rows show their observation count in the value column and
+    the latency summary (mean/p50/p95/max) in the detail column.
+    """
+    registry = registry if registry is not None else METRICS
+    headers = ["metric", "type", "value", "unit", "detail"]
+    rows = [_row(registry.get(name)) for name in registry.names()]
+    if not rows:
+        return "no metrics recorded (telemetry disabled or nothing ran)"
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

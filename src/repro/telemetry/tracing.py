@@ -1,0 +1,126 @@
+"""Structured trace events with JSONL export.
+
+A trace event is one timestamped record of something the system did —
+a request completing, a stripe converting codes, a recovery draining.
+Events are flat: a ``ts`` (the emitter's native clock — simulated
+seconds in the cluster, selector event index in the adaptive policy),
+a ``kind`` tag, and scalar fields.  One event serialises to one JSON
+object per line, so a trace file replays with any JSONL tooling::
+
+    {"ts": 1.52, "kind": "request", "op": "read", "stripe": 7, "latency": 0.031}
+
+Like the metrics registry, the recorder is opt-in: sites guard emission
+with ``if TRACER.enabled:`` and the default :data:`TRACER` starts off.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TraceEvent", "TraceRecorder", "TRACER"]
+
+#: JSON-scalar types a trace field may carry; anything else is stringified.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record: timestamp, kind tag, scalar fields."""
+
+    ts: float
+    kind: str
+    fields: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready dict; non-scalar field values are stringified."""
+        out = {"ts": float(self.ts), "kind": self.kind}
+        for key, value in self.fields.items():
+            out[key] = value if isinstance(value, _SCALARS) else str(value)
+        return out
+
+
+class TraceRecorder:
+    """In-memory event buffer with JSONL export.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; the module-level :data:`TRACER` starts disabled.
+    capacity:
+        Optional hard cap on buffered events — once full, further emits
+        are dropped (and counted in :attr:`dropped`) instead of growing
+        the buffer unboundedly during long campaigns.
+
+    Examples
+    --------
+    >>> rec = TraceRecorder(enabled=True)
+    >>> rec.emit("request", ts=0.5, op="read", latency=0.01)
+    >>> rec.to_jsonl().startswith('{"ts": 0.5, "kind": "request"')
+    True
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> None:
+        """Start buffering events at every instrumented site."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop buffering (the existing buffer is kept until :meth:`clear`)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all buffered events and the dropped-count."""
+        self.events.clear()
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+    def emit(self, kind: str, ts: float = 0.0, **fields) -> None:
+        """Record one event (no-op while disabled, drop-counted when full)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(ts=ts, kind=kind, fields=fields))
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind tag (quick trace summary)."""
+        out: dict[str, int] = {}
+        for ev in self.events:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The whole buffer as JSON-Lines text (one event per line)."""
+        return "\n".join(json.dumps(ev.to_dict()) for ev in self.events)
+
+    def dump_jsonl(self, path) -> int:
+        """Write the buffer to ``path`` as JSONL; returns the event count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self.events)
+
+
+#: The process-wide default recorder every instrumented site emits to.
+#: Disabled at import time — enable with ``repro.telemetry.enable(tracing=True)``.
+TRACER = TraceRecorder(enabled=False)

@@ -24,5 +24,7 @@ def test_api_docs_up_to_date():
 def test_api_docs_cover_key_classes():
     text = DOCS.read_text()
     for name in ("ReedSolomonCode", "MSRCode", "ECFusion", "FusionTransformer",
-                 "run_workload", "AnalyticCosts", "ReliabilityModel"):
+                 "run_workload", "AnalyticCosts", "ReliabilityModel",
+                 "MetricsRegistry", "Counter", "Gauge", "Histogram",
+                 "TraceRecorder", "TraceEvent", "render_metrics_table"):
         assert name in text, name
