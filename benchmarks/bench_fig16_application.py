@@ -12,8 +12,21 @@ def test_fig16_application(benchmark, bench_config, save_result):
     fig = benchmark.pedantic(
         lambda: fig16_application.compute(bench_config), rounds=1, iterations=1
     )
-    save_result("fig16_application", fig16_application.render(fig))
     traces = fig.campaign.traces()
+    save_result(
+        "fig16_application",
+        fig16_application.render(fig),
+        data={
+            "epsilon1": {
+                scheme: {t: fig.epsilon1(scheme, t) for t in traces}
+                for scheme in ("RS", "MSR", "EC-Fusion")
+            },
+            "fusion_improvement_vs_msr": {
+                t: fig.fusion_improvement_vs("MSR", t) for t in traces
+            },
+            "fusion_overhead_vs_rs": {t: fig.fusion_overhead_vs_rs(t) for t in traces},
+        },
+    )
     assert max(fig.fusion_improvement_vs("MSR", t) for t in traces) > 0.6
     assert max(fig.fusion_overhead_vs_rs(t) for t in traces) < 0.03
     # the MSR gap grows with write intensity (mds1 read-heavy -> rsrch0 write-heavy)

@@ -4,6 +4,7 @@ Run with::
 
     python examples/failure_storm.py
     python examples/failure_storm.py --trace storm.jsonl   # + telemetry trace
+    python examples/failure_storm.py --report storm.json   # + campaign report
 
 Kills one storage node mid-workload and shows (1) how each scheme drains
 the resulting recovery storm, (2) what an HDFS-style repair-bandwidth cap
@@ -12,7 +13,9 @@ rack-aware placement bounds the blast radius of a failure domain.
 
 With ``--trace PATH`` the run also records structured telemetry events
 (requests, recoveries, node-storm fan-out) and writes them to ``PATH`` as
-JSONL — ``docs/telemetry.md`` walks through reading the result.
+JSONL — ``docs/telemetry.md`` walks through reading the result.  With
+``--report PATH`` it writes the versioned JSON campaign report and prints
+the three slowest repair spans of its own run.
 """
 
 import sys
@@ -25,7 +28,11 @@ from repro.workloads import NodeFailureEvent, make_trace
 TRACE_PATH = None
 if "--trace" in sys.argv:
     TRACE_PATH = sys.argv[sys.argv.index("--trace") + 1]
-    telemetry.enable(tracing=True)
+REPORT_PATH = None
+if "--report" in sys.argv:
+    REPORT_PATH = sys.argv[sys.argv.index("--report") + 1]
+if TRACE_PATH or REPORT_PATH:
+    telemetry.enable(tracing=True, snapshots=REPORT_PATH is not None)
 
 exp = ExperimentConfig(num_requests=150, num_stripes=24)
 trace = make_trace(
@@ -99,3 +106,20 @@ for racks in (1, 4):
 if TRACE_PATH:
     count = telemetry.TRACER.dump_jsonl(TRACE_PATH)
     print(f"\nwrote {count} trace events to {TRACE_PATH}")
+
+if REPORT_PATH:
+    report = telemetry.build_report(
+        experiments=["failure_storm"],
+        config={"num_requests": exp.num_requests, "num_stripes": exp.num_stripes},
+    )
+    telemetry.write_report(REPORT_PATH, report)
+    print(f"\nwrote campaign report to {REPORT_PATH}")
+    analysis = telemetry.analyze_events(e.to_dict() for e in telemetry.TRACER.events)
+    print("\ntop 3 slowest repairs this run:")
+    for rank, span in enumerate(analysis.slowest("recovery", 3), start=1):
+        scheme = span.fields.get("scheme", "?")
+        stripe = span.fields.get("stripe", "?")
+        print(
+            f"  {rank}. {span.duration:8.3f}s  scheme={scheme} stripe={stripe} "
+            f"[{span.start:.2f}s - {span.end:.2f}s]"
+        )

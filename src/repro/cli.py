@@ -9,6 +9,8 @@ Usage::
     python -m repro all                  # the whole evaluation
     python -m repro fig16 stats          # ...plus the telemetry metrics table
     python -m repro fig16 --trace t.jsonl  # dump structured trace events
+    python -m repro fig16 --report out.json  # machine-readable campaign report
+    python -m repro trace-report t.jsonl   # offline span analytics on a trace
 
 Simulation-backed commands share one memoised campaign per configuration,
 so ``all`` costs barely more than its slowest member.
@@ -17,14 +19,23 @@ so ``all`` costs barely more than its slowest member.
 anything runs and prints the collected metrics table afterwards.  On its
 own (``python -m repro stats``) it drives one compact simulation campaign
 so the table is never empty.  ``--trace PATH`` additionally buffers
-structured trace events and writes them to ``PATH`` as JSONL on exit (see
-``docs/telemetry.md`` for the schema).
+structured trace events and writes them to ``PATH`` as JSONL on exit —
+atomically, via a temp file in the target directory, so a crashed run
+never truncates an earlier trace.  ``--report PATH`` turns on metrics,
+tracing *and* sim-time snapshots and writes the versioned JSON campaign
+report (metric aggregates + time series + span analytics).
+``trace-report PATH`` is the offline companion: it summarises an existing
+JSONL trace without re-running any campaign (see ``docs/telemetry.md``
+for both schemas).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
+import tempfile
 
 from . import telemetry
 from .experiments import (
@@ -127,7 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment names (fig13..fig19, table7), 'all', 'list', or 'stats'",
+        help=(
+            "experiment names (fig13..fig19, table7), 'all', 'list', 'stats', "
+            "or 'trace-report PATH'"
+        ),
     )
     parser.add_argument("--k", type=int, nargs="+", default=[6, 8], help="stripe widths")
     parser.add_argument(
@@ -143,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="record structured trace events and write them to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a machine-readable campaign report (metrics + sim-time "
+            "snapshots + span analytics) to PATH as versioned JSON"
+        ),
     )
     return parser
 
@@ -173,6 +196,34 @@ def _stats_fallback_config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(**overrides)
 
 
+def _run_trace_report(names: list[str]) -> int:
+    """The ``trace-report PATH`` pseudo-experiment (offline span analytics)."""
+    from .telemetry import spans
+
+    if len(names) != 2:
+        print("usage: python -m repro trace-report PATH", file=sys.stderr)
+        return 2
+    try:
+        analysis = spans.analyze_trace(names[1])
+    except (OSError, ValueError) as exc:
+        print(f"cannot analyze trace: {exc}", file=sys.stderr)
+        return 2
+    print(analysis.render())
+    return 0
+
+
+def _probe_writable(path: str) -> str | None:
+    """Check ``path``'s directory accepts new files; return the error if not."""
+    directory = os.path.dirname(path) or "."
+    try:
+        fd, probe = tempfile.mkstemp(dir=directory, prefix=".probe-")
+        os.close(fd)
+        os.unlink(probe)
+    except OSError as exc:
+        return str(exc)
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     names = list(args.experiments)
@@ -181,47 +232,86 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc, _sim) in EXPERIMENTS.items():
             print(f"  {name:8s} {desc}")
         print("  stats    telemetry metrics table for everything run this invocation")
+        print("  trace-report PATH   span analytics for an existing JSONL trace")
         return 0
+
+    if names and names[0] == "trace-report":
+        return _run_trace_report(names)
 
     want_stats = "stats" in names
     names = [n for n in names if n != "stats"]
+    trace_tmp = None
     if args.trace is not None:
-        try:  # fail fast: don't run a whole campaign before a bad path errors
-            open(args.trace, "w").close()
+        # fail fast on an unwritable path — but via a temp file in the
+        # target directory, so a pre-existing trace is never truncated
+        # before the campaign has actually produced its replacement
+        directory = os.path.dirname(args.trace) or "."
+        try:
+            fd, trace_tmp = tempfile.mkstemp(
+                dir=directory, prefix=".trace-", suffix=".jsonl.tmp"
+            )
+            os.close(fd)
         except OSError as exc:
             print(f"cannot write trace file: {exc}", file=sys.stderr)
             return 2
-    if want_stats or args.trace is not None:
-        telemetry.enable(metrics=True, tracing=args.trace is not None)
+    try:
+        if args.report is not None:
+            error = _probe_writable(args.report)
+            if error is not None:
+                print(f"cannot write report file: {error}", file=sys.stderr)
+                return 2
+        tracing = args.trace is not None or args.report is not None
+        if want_stats or tracing or args.report is not None:
+            telemetry.enable(
+                metrics=True, tracing=tracing, snapshots=args.report is not None
+            )
 
-    if "all" in names:
-        names = list(EXPERIMENTS)
+        if "all" in names:
+            names = list(EXPERIMENTS)
 
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(
-            f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats",
-            file=sys.stderr,
-        )
-        return 2
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+            print(
+                f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats"
+                " | trace-report",
+                file=sys.stderr,
+            )
+            return 2
 
-    config = config_from_args(args)
-    ks = tuple(args.k)
-    if not names and (want_stats or args.trace is not None):
-        # standalone stats/trace: drive one compact campaign so there is
-        # something to report (fig16's campaign exercises every layer)
-        fig16_application.compute(_stats_fallback_config(args))
-    for name in names:
-        runner, _, _ = EXPERIMENTS[name]
-        print(runner(config, ks))
-        print()
-    if args.trace is not None:
-        count = telemetry.TRACER.dump_jsonl(args.trace)
-        print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
-    if want_stats:
-        print(telemetry.render_metrics_table())
-    return 0
+        config = config_from_args(args)
+        ks = tuple(args.k)
+        run_config = config
+        if not names and (want_stats or tracing):
+            # standalone stats/trace/report: drive one compact campaign so
+            # there is something to report (fig16 exercises every layer)
+            run_config = _stats_fallback_config(args)
+            fig16_application.compute(run_config)
+        for name in names:
+            runner, _, _ = EXPERIMENTS[name]
+            print(runner(config, ks))
+            print()
+        if args.trace is not None:
+            count = telemetry.TRACER.dump_jsonl(trace_tmp)
+            os.replace(trace_tmp, args.trace)  # atomic publish of the dump
+            trace_tmp = None
+            print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
+        if args.report is not None:
+            report = telemetry.build_report(
+                experiments=names or ["stats"],
+                config=dataclasses.asdict(run_config),
+            )
+            telemetry.write_report(args.report, report)
+            print(f"wrote campaign report to {args.report}", file=sys.stderr)
+        if want_stats:
+            print(telemetry.render_metrics_table())
+        return 0
+    finally:
+        if trace_tmp is not None:
+            try:  # campaign failed (or was skipped): leave no stray temp
+                os.unlink(trace_tmp)
+            except OSError:
+                pass
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from ..fusion.costmodel import SystemProfile
 from ..hybrid.planners import SchemePlanner
 from ..hybrid.plans import PlanKind
-from ..telemetry import METRICS, TRACER
+from ..telemetry import METRICS, SNAPSHOTS, TRACER
 from ..workloads.failures import FailureEvent, NodeFailureEvent
 from ..workloads.trace import OpType, Trace
 from .client import Client, PlanExecutor
@@ -197,26 +197,38 @@ def _split_plans(plans):
     return conversions, main
 
 
-def _observe_conversion(result, scheme_name, stripe, start, now):
-    """Record one in-simulation code conversion (latency + telemetry)."""
-    latency = now - start
+def _record_conversion(result, scheme, stripe, plans, latency, now):
+    """Record one in-simulation code conversion (latency + telemetry).
+
+    The histogram observation rides on the :class:`~repro.telemetry.Timer`
+    at the call site; this helper keeps the result sample, the counter,
+    and the trace event — including the conversion's read traffic and the
+    bytes the intermediary-parity highway saved versus re-encoding the
+    whole stripe (k·γ reads).
+    """
     result.conversion_latencies.append(latency)
     if METRICS.enabled:
         METRICS.counter("cluster.conversions", unit="conversions").inc()
-        METRICS.histogram("cluster.latency.conversion", unit="s").observe(latency)
     if TRACER.enabled:
+        bytes_read = sum(plan.bytes_read for plan in plans)
+        gamma = getattr(scheme, "gamma", 0.0)
+        saved = max(0.0, scheme.k * gamma - bytes_read) if gamma else 0.0
         TRACER.emit(
-            "conversion", ts=now, scheme=scheme_name, stripe=stripe, latency=latency
+            "conversion",
+            ts=now,
+            scheme=scheme.name,
+            stripe=stripe,
+            latency=latency,
+            bytes_read=bytes_read,
+            saved=saved,
         )
 
 
-def _observe_recovery(result, scheme_name, stripe, block, start, now):
+def _record_recovery(result, scheme_name, stripe, block, latency, now):
     """Record one completed reconstruction (latency + telemetry)."""
-    latency = now - start
     result.recovery_latencies.append(latency)
     if METRICS.enabled:
         METRICS.counter("cluster.recoveries", unit="jobs").inc()
-        METRICS.histogram("cluster.latency.recovery", unit="s").observe(latency)
     if TRACER.enabled:
         TRACER.emit(
             "recovery",
@@ -226,6 +238,46 @@ def _observe_recovery(result, scheme_name, stripe, block, start, now):
             block=block,
             latency=latency,
         )
+
+
+def _attach_snapshots(cluster, scheme, trace, failed_blocks, result):
+    """Register the sim-time snapshot sampler for one (scheme, trace) run.
+
+    Probes are read-only closures over live simulation state; the sampler
+    runs as a kernel daemon process, so enabling snapshots changes what is
+    *observed*, never what happens or when the run ends.
+    """
+    selector = getattr(scheme, "selector", None)
+
+    def queue_probes(queue_name):
+        if selector is None:
+            return {
+                f"{queue_name}_occupancy": lambda: 0.0,
+                f"{queue_name}_hit_rate": lambda: 0.0,
+            }
+        queue = getattr(selector, queue_name)
+
+        def hit_rate():
+            if queue.total_hits == 0:
+                return 0.0
+            return 1.0 - queue.total_misses / queue.total_hits
+
+        return {
+            f"{queue_name}_occupancy": lambda: float(len(queue)),
+            f"{queue_name}_hit_rate": hit_rate,
+        }
+
+    probes = {
+        "msr_share": (lambda: selector.msr_fraction) if selector else (lambda: 0.0),
+        **queue_probes("queue1"),
+        **queue_probes("queue2"),
+        "degraded_outstanding": lambda: float(len(failed_blocks)),
+        "recoveries_done": lambda: float(len(result.recovery_latencies)),
+        "nic_in_flight": lambda: float(sum(n.nic.queue_depth for n in cluster.nodes)),
+        "disk_in_flight": lambda: float(sum(n.disk.queue_depth for n in cluster.nodes)),
+        "nic_bytes_moved": lambda: float(sum(n.nic.bytes_moved for n in cluster.nodes)),
+    }
+    SNAPSHOTS.sample_into(cluster.sim, f"{scheme.name}/{trace.name}", probes)
 
 
 def run_workload(
@@ -274,6 +326,9 @@ def run_workload(
         thresholds = []
     progress = {"done": 0}
     failed_blocks: set[tuple] = set()  # chunks lost but not yet rebuilt
+    sim_clock = lambda: sim.now  # noqa: E731 - Timer clock for sim-time spans
+    if SNAPSHOTS.enabled:
+        _attach_snapshots(cluster, scheme, trace, failed_blocks, result)
 
     def fire_due_triggers():
         for j, threshold in enumerate(thresholds):
@@ -297,24 +352,23 @@ def run_workload(
             plans = scheme.plan_read(req.stripe, req.block)
         conversions, main = _split_plans(plans)
         if conversions:
-            start = sim.now
-            yield sim.process(
-                cluster.client.executor.run_plans(
-                    conversions, req.stripe, cluster.client.cpu, cluster.client.nic
+            with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
+                yield sim.process(
+                    cluster.client.executor.run_plans(
+                        conversions, req.stripe, cluster.client.cpu, cluster.client.nic
+                    )
                 )
-            )
-            _observe_conversion(result, scheme.name, req.stripe, start, sim.now)
-        start = sim.now
-        yield sim.process(cluster.client.submit(main, req.stripe))
-        latency = sim.now - start
+            _record_conversion(result, scheme, req.stripe, conversions, t.elapsed, sim.now)
         op_name = "write" if req.op is OpType.WRITE else "read"
+        with METRICS.timer(f"cluster.latency.{op_name}", clock=sim_clock) as t:
+            yield sim.process(cluster.client.submit(main, req.stripe))
+        latency = t.elapsed
         if req.op is OpType.WRITE:
             result.write_latencies.append(latency)
         else:
             result.read_latencies.append(latency)
         if METRICS.enabled:
             METRICS.counter(f"cluster.requests.{op_name}", unit="requests").inc()
-            METRICS.histogram(f"cluster.latency.{op_name}", unit="s").observe(latency)
         if TRACER.enabled:
             TRACER.emit(
                 "request",
@@ -346,13 +400,13 @@ def run_workload(
         conversions, main = _split_plans(plans)
         worker_plans = conversions + main
         if conversions:
-            start = sim.now
-            yield sim.process(cluster.recovery.submit(conversions, event.stripe))
-            _observe_conversion(result, scheme.name, event.stripe, start, sim.now)
+            with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
+                yield sim.process(cluster.recovery.submit(conversions, event.stripe))
+            _record_conversion(result, scheme, event.stripe, conversions, t.elapsed, sim.now)
             worker_plans = main
-        start = sim.now
-        yield sim.process(cluster.recovery.submit(worker_plans, event.stripe))
-        _observe_recovery(result, scheme.name, event.stripe, event.block, start, sim.now)
+        with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
+            yield sim.process(cluster.recovery.submit(worker_plans, event.stripe))
+        _record_recovery(result, scheme.name, event.stripe, event.block, t.elapsed, sim.now)
         failed_blocks.discard((event.stripe, event.block))
 
     def chunk_losses_on(node: int) -> list[FailureEvent]:
@@ -379,13 +433,13 @@ def run_workload(
 
             def storm_job(loss=loss, conversions=conversions, main=main):
                 if conversions:
-                    start = sim.now
-                    yield sim.process(cluster.recovery.submit(conversions, loss.stripe))
-                    _observe_conversion(result, scheme.name, loss.stripe, start, sim.now)
-                start = sim.now
-                yield sim.process(cluster.recovery.submit(main, loss.stripe))
-                _observe_recovery(
-                    result, scheme.name, loss.stripe, loss.block, start, sim.now
+                    with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
+                        yield sim.process(cluster.recovery.submit(conversions, loss.stripe))
+                    _record_conversion(result, scheme, loss.stripe, conversions, t.elapsed, sim.now)
+                with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
+                    yield sim.process(cluster.recovery.submit(main, loss.stripe))
+                _record_recovery(
+                    result, scheme.name, loss.stripe, loss.block, t.elapsed, sim.now
                 )
                 failed_blocks.discard((loss.stripe, loss.block))
 

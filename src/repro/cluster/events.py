@@ -12,6 +12,12 @@ The cluster substrate needs only four primitives, modelled after simpy:
 
 The engine is deterministic: ties in time break by scheduling sequence
 number, so a seeded workload always produces identical latencies.
+
+Events may be scheduled as *daemons* (``schedule(..., daemon=True)``):
+like daemon threads, they fire while real work is pending but never keep
+the simulation alive on their own — ``run()`` stops once only daemon
+events remain.  The telemetry snapshot sampler rides on this to take
+recurring sim-time readings without changing when a workload ends.
 """
 
 from __future__ import annotations
@@ -72,38 +78,53 @@ class Simulator:
 
     def __init__(self):
         self.now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple[float, int, bool, Event]] = []
         self._seq = 0
+        self._pending = 0  # scheduled non-daemon events not yet popped
 
-    def schedule(self, event: Event, delay: float = 0.0) -> Event:
-        """Arrange for ``event`` to succeed ``delay`` seconds from now."""
+    def schedule(self, event: Event, delay: float = 0.0, daemon: bool = False) -> Event:
+        """Arrange for ``event`` to succeed ``delay`` seconds from now.
+
+        Daemon events fire in time order like any other, but do not keep
+        :meth:`run` going: the loop stops once only daemons remain.
+        """
         if delay < 0:
             raise ValueError("cannot schedule into the past")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if not daemon:
+            self._pending += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, daemon, event))
         if METRICS.enabled:
             METRICS.gauge("sim.heap_depth", unit="events").set(len(self._heap))
         return event
 
-    def timeout(self, delay: float) -> Event:
+    def timeout(self, delay: float, daemon: bool = False) -> Event:
         """An event that fires after ``delay`` simulated seconds."""
-        return self.schedule(Event(self), delay)
+        return self.schedule(Event(self), delay, daemon=daemon)
 
-    def process(self, gen: Generator) -> "Process":
-        """Start a coroutine process; returns its completion event."""
-        return Process(self, gen)
+    def process(self, gen: Generator, daemon: bool = False) -> "Process":
+        """Start a coroutine process; returns its completion event.
+
+        A daemon process only marks its *kick-off* event as daemon; any
+        events the generator itself schedules choose their own flag (a
+        pure-daemon loop yields ``timeout(..., daemon=True)``).
+        """
+        return Process(self, gen, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> "AllOf":
         """An event that fires once every listed event has fired."""
         return AllOf(self, list(events))
 
     def run(self, until: float | None = None) -> None:
-        """Execute events in time order until the heap drains (or ``until``)."""
-        while self._heap:
-            t, _, event = self._heap[0]
+        """Execute events in time order until only daemon events remain
+        in the heap (or the clock passes ``until``)."""
+        while self._heap and self._pending:
+            t, _, daemon, event = self._heap[0]
             if until is not None and t > until:
                 break
             heapq.heappop(self._heap)
+            if not daemon:
+                self._pending -= 1
             self.now = t
             if not event.triggered:
                 event.succeed(event.value)
@@ -116,13 +137,13 @@ class Process(Event):
 
     __slots__ = ("_gen",)
 
-    def __init__(self, sim: Simulator, gen: Generator):
+    def __init__(self, sim: Simulator, gen: Generator, daemon: bool = False):
         super().__init__(sim)
         self._gen = gen
         # Kick off via a zero-delay event so process start respects time order.
         start = Event(sim)
         start.wait(self._step)
-        sim.schedule(start, 0.0)
+        sim.schedule(start, 0.0, daemon=daemon)
 
     def _step(self, fired: Event) -> None:
         try:
@@ -173,6 +194,11 @@ class FIFOResource:
         self._waiting: list[Event] = []
         self.busy_time = 0.0
         self.served = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued or in service (bytes "in flight")."""
+        return len(self._waiting) + (1 if self._busy else 0)
 
     def acquire(self) -> Event:
         """Event that fires when the caller holds the resource."""

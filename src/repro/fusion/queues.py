@@ -67,6 +67,7 @@ class TrackingQueue:
         self._entries: OrderedDict[Hashable, QueueEntry] = OrderedDict()
         self._clock = 0
         self.total_hits = 0
+        self.total_misses = 0  # records that inserted a new entry
         self.total_evictions = 0
 
     # -- core ----------------------------------------------------------------
@@ -91,6 +92,7 @@ class TrackingQueue:
         evicted: list[QueueEntry] = []
         while len(self._entries) >= self.capacity:
             evicted.append(self._evict_one())
+        self.total_misses += 1
         self._entries[key] = QueueEntry(key=key, hits=1, last_touch=touch)
         if METRICS.enabled:
             METRICS.counter(f"fusion.{self.name}.misses", unit="records").inc()

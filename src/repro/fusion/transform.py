@@ -178,6 +178,10 @@ class FusionTransformer:
         group's intermediary parity comes from eq. (3) without reading its
         data, and every group's MSR parities from Trans2 (eq. (7)).
         """
+        with METRICS.timer("fusion.transform.wall.rs_to_msr", unit="s"):
+            return self._rs_to_msr(data, rs_parity)
+
+    def _rs_to_msr(self, data: np.ndarray, rs_parity: np.ndarray) -> RsToMsrResult:
         data = np.ascontiguousarray(data, dtype=np.uint8)
         rs_parity = np.ascontiguousarray(rs_parity, dtype=np.uint8)
         L = data.shape[1]
@@ -228,6 +232,10 @@ class FusionTransformer:
         MSR parities straight to its intermediary parity, and eq. (3)
         XOR-merges them.
         """
+        with METRICS.timer("fusion.transform.wall.msr_to_rs", unit="s"):
+            return self._msr_to_rs(msr_parities)
+
+    def _msr_to_rs(self, msr_parities: list[np.ndarray]) -> MsrToRsResult:
         if len(msr_parities) != self.q:
             raise ValueError(f"expected {self.q} parity groups, got {len(msr_parities)}")
         L = np.asarray(msr_parities[0]).shape[1]

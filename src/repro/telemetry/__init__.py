@@ -1,24 +1,30 @@
-"""Opt-in observability: metrics registry + structured tracing.
+"""Opt-in observability: metrics, tracing, snapshots, span analytics.
 
 Every layer of the reproduction — the discrete-event kernel, the cluster
 substrate, the fusion pipeline and the codecs — records into one shared
-:data:`METRICS` registry and one shared :data:`TRACER` recorder.  Both
-start **disabled**: an instrumented hot path costs a single attribute
-lookup until :func:`enable` flips the switch, so simulation results and
-codec throughput are unchanged for users who never ask for telemetry.
+:data:`METRICS` registry and one shared :data:`TRACER` recorder; when
+:data:`SNAPSHOTS` is enabled the cluster additionally samples sim-time
+series of live gauges (MSR share, queue occupancy, in-flight traffic).
+All three start **disabled**: an instrumented hot path costs a single
+attribute lookup until :func:`enable` flips the switch, so simulation
+results and codec throughput are unchanged for users who never ask for
+telemetry.
 
 Typical session::
 
     from repro import telemetry
-    telemetry.enable(tracing=True)
+    telemetry.enable(tracing=True, snapshots=True)
     ...  # run a workload / experiment
     print(telemetry.render_metrics_table())
     telemetry.TRACER.dump_jsonl("trace.jsonl")
+    report = telemetry.build_report(experiments=["fig16"])
     telemetry.disable()
 
-The CLI wires the same switches to ``python -m repro stats`` and
-``python -m repro <experiment> --trace out.jsonl``; the metric catalogue
-and trace-event schema are documented in ``docs/telemetry.md``.
+The CLI wires the same switches to ``python -m repro stats``,
+``--trace PATH`` and ``--report PATH``, and ``python -m repro
+trace-report PATH`` replays the offline span analytics on an existing
+trace; the metric catalogue, trace-event schema and report schema are
+documented in ``docs/telemetry.md``.
 """
 
 from __future__ import annotations
@@ -29,43 +35,65 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Timer,
     default_buckets,
 )
 from .report import render_metrics_table
+from .snapshots import SNAPSHOTS, SnapshotCollector, SnapshotSampler, SnapshotSeries
+from .spans import Span, TraceAnalysis, analyze_events, analyze_trace, load_events
+from .export import REPORT_SCHEMA, build_report, render_prometheus, write_report
 from .tracing import TRACER, TraceEvent, TraceRecorder
 
 __all__ = [
     "METRICS",
     "TRACER",
+    "SNAPSHOTS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Timer",
+    "SnapshotCollector",
+    "SnapshotSampler",
+    "SnapshotSeries",
+    "Span",
+    "TraceAnalysis",
     "TraceEvent",
     "TraceRecorder",
+    "REPORT_SCHEMA",
+    "analyze_events",
+    "analyze_trace",
+    "build_report",
     "default_buckets",
+    "load_events",
     "render_metrics_table",
+    "render_prometheus",
+    "write_report",
     "enable",
     "disable",
     "reset",
 ]
 
 
-def enable(metrics: bool = True, tracing: bool = False) -> None:
-    """Switch the default registry (and optionally the tracer) on."""
+def enable(metrics: bool = True, tracing: bool = False, snapshots: bool = False) -> None:
+    """Switch the default registry (and optionally tracer/snapshots) on."""
     if metrics:
         METRICS.enable()
     if tracing:
         TRACER.enable()
+    if snapshots:
+        SNAPSHOTS.enable()
 
 
 def disable() -> None:
-    """Switch both the default registry and the default tracer off."""
+    """Switch the default registry, tracer and snapshot collector off."""
     METRICS.disable()
     TRACER.disable()
+    SNAPSHOTS.disable()
 
 
 def reset() -> None:
-    """Clear all recorded metrics and buffered trace events."""
+    """Clear all recorded metrics, buffered trace events and snapshot series."""
     METRICS.reset()
     TRACER.clear()
+    SNAPSHOTS.clear()

@@ -26,12 +26,14 @@ Examples
 from __future__ import annotations
 
 import bisect
+import time
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Timer",
     "METRICS",
     "default_buckets",
 ]
@@ -169,6 +171,46 @@ class Histogram:
         }
 
 
+class Timer:
+    """Context manager that measures a duration against any clock.
+
+    ``elapsed`` is always set on exit, so callers that need the duration
+    for their own accounting (e.g. the simulator's latency samples) read
+    it whether or not telemetry is on.  The bound histogram — ``None``
+    while the registry is disabled — only receives the observation when
+    the block exits cleanly; a raising block records nothing.
+
+    Examples
+    --------
+    >>> h = Histogram("demo.wait", unit="s")
+    >>> fake_now = iter([2.0, 5.5])
+    >>> with Timer(h, clock=lambda: next(fake_now)) as t:
+    ...     pass
+    >>> t.elapsed
+    3.5
+    >>> h.count
+    1
+    """
+
+    __slots__ = ("_histogram", "_clock", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram | None, clock=None):
+        self._histogram = histogram
+        self._clock = clock if clock is not None else time.perf_counter
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = self._clock() - self._start
+        if self._histogram is not None and exc_type is None:
+            self._histogram.observe(self.elapsed)
+        return False
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create access and an on/off switch.
 
@@ -225,6 +267,22 @@ class MetricsRegistry:
     ) -> Histogram:
         """The histogram called ``name``, created on first use."""
         return self._fetch(name, Histogram, unit=unit, buckets=buckets)
+
+    def timer(
+        self,
+        name: str,
+        unit: str = "s",
+        clock=None,
+        buckets: list[float] | None = None,
+    ) -> Timer:
+        """A :class:`Timer` feeding the histogram called ``name``.
+
+        While the registry is disabled the timer still measures (callers
+        may rely on ``elapsed``) but no histogram is created or updated,
+        keeping disabled-mode recording a strict no-op.
+        """
+        hist = self.histogram(name, unit=unit, buckets=buckets) if self.enabled else None
+        return Timer(hist, clock=clock)
 
     # -- queries -----------------------------------------------------------
     def get(self, name: str) -> Counter | Gauge | Histogram | None:

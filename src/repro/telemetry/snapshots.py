@@ -1,0 +1,190 @@
+"""Sim-time metric snapshots: recurring samples of live gauges.
+
+End-of-run aggregates hide exactly the behaviour the paper argues about
+— the MSR-stripe share hovering at 15–20 % of the working set (Fig. 13),
+Queue1/Queue2 churn under Algorithm 1, repair traffic per failure.  The
+snapshot layer records those as *time series over the simulated clock*:
+a :class:`SnapshotSampler` registers a recurring **daemon** event with
+the discrete-event kernel (``Simulator.timeout(..., daemon=True)``), so
+sampling never changes when a workload ends or which events fire — it
+only reads probe callables at a fixed sim-time interval.
+
+Like :data:`~repro.telemetry.registry.METRICS` and
+:data:`~repro.telemetry.tracing.TRACER`, the module-level
+:data:`SNAPSHOTS` collector starts disabled; ``run_workload`` attaches a
+sampler per (scheme, trace) run only when it is enabled, so the default
+costs nothing and simulation results are bit-identical either way.
+
+Examples
+--------
+>>> series = SnapshotSeries("demo", ["depth"])
+>>> series.append(0.0, {"depth": 1.0})
+>>> series.append(5.0, {"depth": 3.0})
+>>> series.column("depth")
+[1.0, 3.0]
+>>> print(series.to_csv())
+ts,depth
+0.0,1.0
+5.0,3.0
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "SnapshotSeries",
+    "SnapshotSampler",
+    "SnapshotCollector",
+    "SNAPSHOTS",
+]
+
+
+class SnapshotSeries:
+    """One labelled multi-column time series over the simulated clock."""
+
+    def __init__(self, label: str, fields: list[str]):
+        self.label = label
+        self.fields = list(fields)
+        self.ts: list[float] = []
+        self._columns: dict[str, list[float]] = {f: [] for f in self.fields}
+
+    def append(self, ts: float, values: dict[str, float]) -> None:
+        """Record one sample row (missing fields default to 0.0)."""
+        self.ts.append(float(ts))
+        for f in self.fields:
+            self._columns[f].append(float(values.get(f, 0.0)))
+
+    def column(self, field: str) -> list[float]:
+        """All samples of one field, aligned with :attr:`ts`."""
+        return self._columns[field]
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view: label, fields, ts, one list per field."""
+        return {
+            "label": self.label,
+            "fields": list(self.fields),
+            "ts": list(self.ts),
+            "series": {f: list(self._columns[f]) for f in self.fields},
+        }
+
+    def to_csv(self) -> str:
+        """CSV text: a ``ts`` column followed by one column per field."""
+        lines = [",".join(["ts"] + self.fields)]
+        for i, t in enumerate(self.ts):
+            row = [repr(t)] + [repr(self._columns[f][i]) for f in self.fields]
+            lines.append(",".join(row))
+        return "\n".join(lines)
+
+
+class SnapshotSampler:
+    """Samples probe callables into a series every ``interval`` sim-seconds.
+
+    The sampler's events are all daemons: they piggyback on the
+    simulation while foreground work is pending and silently stop when
+    the workload drains, so attaching a sampler never extends a run.
+    """
+
+    def __init__(
+        self,
+        series: SnapshotSeries,
+        probes: dict[str, Callable[[], float]],
+        interval: float,
+    ):
+        if interval <= 0:
+            raise ValueError("snapshot interval must be positive")
+        missing = [f for f in series.fields if f not in probes]
+        if missing:
+            raise ValueError(f"series fields without probes: {missing}")
+        self.series = series
+        self.probes = probes
+        self.interval = interval
+
+    def sample(self, ts: float) -> None:
+        """Take one reading of every probe right now."""
+        self.series.append(ts, {f: p() for f, p in self.probes.items()})
+
+    def attach(self, sim) -> None:
+        """Start the recurring daemon sampling process on ``sim``."""
+
+        def _loop():
+            while True:
+                self.sample(sim.now)
+                yield sim.timeout(self.interval, daemon=True)
+
+        sim.process(_loop(), daemon=True)
+
+
+class SnapshotCollector:
+    """Holds every series recorded this session; the opt-in switch.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; the module-level :data:`SNAPSHOTS` starts off.
+    interval:
+        Default sim-seconds between samples for attached samplers.
+    """
+
+    def __init__(self, enabled: bool = False, interval: float = 5.0):
+        self.enabled = enabled
+        self.interval = interval
+        self.series: list[SnapshotSeries] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self, interval: float | None = None) -> None:
+        """Start attaching samplers to simulation runs."""
+        if interval is not None:
+            if interval <= 0:
+                raise ValueError("snapshot interval must be positive")
+            self.interval = interval
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop attaching samplers (recorded series are kept until :meth:`clear`)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded series."""
+        self.series.clear()
+
+    # -- recording ---------------------------------------------------------
+    def sample_into(
+        self,
+        sim,
+        label: str,
+        probes: dict[str, Callable[[], float]],
+        interval: float | None = None,
+    ) -> SnapshotSeries:
+        """Create a series for one run and attach its sampler to ``sim``."""
+        series = SnapshotSeries(label, list(probes))
+        self.series.append(series)
+        SnapshotSampler(series, probes, interval or self.interval).attach(sim)
+        return series
+
+    # -- queries -----------------------------------------------------------
+    def get(self, label: str) -> SnapshotSeries | None:
+        """The most recent series with this label, or None."""
+        for series in reversed(self.series):
+            if series.label == label:
+                return series
+        return None
+
+    def labels(self) -> list[str]:
+        """Labels of every recorded series, in recording order."""
+        return [s.label for s in self.series]
+
+    def to_dict(self) -> list[dict]:
+        """JSON-friendly list of every series (see ``docs/telemetry.md``)."""
+        return [s.to_dict() for s in self.series]
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+#: The process-wide default collector ``run_workload`` attaches samplers to.
+#: Disabled at import time — enable with ``repro.telemetry.enable(snapshots=True)``.
+SNAPSHOTS = SnapshotCollector(enabled=False)

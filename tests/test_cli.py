@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import telemetry
 from repro.cli import EXPERIMENTS, build_parser, config_from_args, main
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """CLI runs flip the global telemetry switches; leave them off."""
+    yield
+    telemetry.disable()
+    telemetry.reset()
 
 
 class TestParser:
@@ -59,6 +70,95 @@ class TestMain:
         # resolves to the full list without erroring on name resolution
         args = build_parser().parse_args(names)
         assert args.experiments == ["all"]
+
+
+class TestTraceFile:
+    ARGS = ["fig17", "--requests", "30", "--stripes", "8", "--failure-rate", "0.1"]
+
+    def test_trace_written_and_parseable(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(self.ARGS + ["--trace", str(trace)]) == 0
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert events and all("ts" in e and "kind" in e for e in events)
+        assert not list(tmp_path.glob(".trace-*"))  # temp renamed away
+
+    def test_unwritable_dir_fails_fast(self, tmp_path, capsys):
+        assert main(["fig13", "--trace", str(tmp_path / "no" / "t.jsonl")]) == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+    def test_preexisting_trace_survives_bad_experiment(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text('{"ts": 0.0, "kind": "precious"}\n')
+        assert main(["nope", "--trace", str(trace)]) == 2
+        assert trace.read_text() == '{"ts": 0.0, "kind": "precious"}\n'
+        assert not list(tmp_path.glob(".trace-*"))
+
+    def test_preexisting_trace_survives_crash(self, tmp_path, monkeypatch):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("precious\n")
+
+        def boom(config, ks):
+            raise RuntimeError("campaign exploded")
+
+        monkeypatch.setitem(EXPERIMENTS, "fig13", (boom, "x", False))
+        with pytest.raises(RuntimeError):
+            main(["fig13", "--trace", str(trace)])
+        assert trace.read_text() == "precious\n"
+        assert not list(tmp_path.glob(".trace-*"))
+
+
+class TestTraceReport:
+    def test_summarises_fixture_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        rows = [
+            {"ts": 1.0, "kind": "request", "latency": 0.25, "op": "read"},
+            {"ts": 5.0, "kind": "recovery", "latency": 2.0, "stripe": 3, "block": 1},
+            {"ts": 6.0, "kind": "adapt", "stripe": 3, "target": "msr"},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "3 events" in out
+        assert "recovery" in out and "slowest repairs" in out
+
+    def test_usage_error(self, capsys):
+        assert main(["trace-report"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot analyze trace" in capsys.readouterr().err
+
+    def test_corrupt_file_names_line(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"ts": 1.0, "kind": "x"}\nnot json\n')
+        assert main(["trace-report", str(trace)]) == 2
+        assert "2" in capsys.readouterr().err
+
+
+class TestReportFlag:
+    def test_report_schema_series_and_spans(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        # distinct config so the memoised campaign cache can't serve a
+        # previous test's run with telemetry switched off
+        assert main(["stats", "--requests", "37", "--stripes", "9",
+                     "--report", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.report/v1"
+        assert doc["experiments"] == ["stats"]
+        assert doc["config"]["num_requests"] == 37
+        assert doc["metrics"]  # aggregates present
+        fields = set()
+        for series in doc["snapshots"]:
+            assert len(series["ts"]) >= 1
+            fields |= set(series["fields"])
+        assert {"msr_share", "queue1_occupancy"} <= fields
+        assert doc["spans"]["aggregates"]["recovery"]["p99"] >= 0.0
+        assert doc["spans"]["aggregates"]["request"]["count"] > 0
+
+    def test_unwritable_report_fails_fast(self, tmp_path, capsys):
+        assert main(["fig13", "--report", str(tmp_path / "no" / "r.json")]) == 2
+        assert "cannot write report file" in capsys.readouterr().err
 
 
 class TestMainModule:

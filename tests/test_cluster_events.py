@@ -86,6 +86,82 @@ class TestSimulator:
             sim.run()
 
 
+class TestDaemonEvents:
+    def test_daemon_only_heap_does_not_run(self):
+        sim = Simulator()
+        log = []
+
+        def beat():
+            while True:
+                log.append(sim.now)
+                yield sim.timeout(1, daemon=True)
+
+        sim.process(beat(), daemon=True)
+        sim.run()
+        # nothing non-daemon pending: the loop never spins, clock stays put
+        assert log == [] and sim.now == 0.0
+
+    def test_daemon_interleaves_then_stops_with_foreground(self):
+        sim = Simulator()
+        beats = []
+
+        def beat():
+            while True:
+                beats.append(sim.now)
+                yield sim.timeout(2, daemon=True)
+
+        def work():
+            yield sim.timeout(5)
+
+        sim.process(beat(), daemon=True)
+        sim.process(work())
+        sim.run()
+        # samples at 0/2/4 while work is pending; run ends when work does
+        assert beats == [0.0, 2.0, 4.0]
+        assert sim.now == 5.0
+
+    def test_daemon_does_not_change_foreground_schedule(self):
+        def drive(with_daemon):
+            sim = Simulator()
+            log = []
+
+            def work(tag, delay):
+                yield sim.timeout(delay)
+                log.append((tag, sim.now))
+
+            if with_daemon:
+
+                def beat():
+                    while True:
+                        yield sim.timeout(0.5, daemon=True)
+
+                sim.process(beat(), daemon=True)
+            for tag, delay in (("a", 1), ("b", 3), ("c", 2)):
+                sim.process(work(tag, delay))
+            sim.run()
+            return log, sim.now
+
+        assert drive(with_daemon=False) == drive(with_daemon=True)
+
+    def test_run_until_still_honoured_with_daemons(self):
+        sim = Simulator()
+        beats = []
+
+        def beat():
+            while True:
+                beats.append(sim.now)
+                yield sim.timeout(1, daemon=True)
+
+        def work():
+            yield sim.timeout(10)
+
+        sim.process(beat(), daemon=True)
+        sim.process(work())
+        sim.run(until=2.5)
+        assert beats == [0.0, 1.0, 2.0]
+        assert sim.now == 2.5
+
+
 class TestAllOf:
     def test_barrier_waits_for_slowest(self):
         sim = Simulator()
@@ -173,6 +249,27 @@ class TestFIFOResource:
         sim.run()
         assert res.busy_time == pytest.approx(5.0)
         assert res.served == 2
+
+    def test_queue_depth_counts_waiting_and_in_service(self):
+        sim = Simulator()
+        res = FIFOResource(sim, "r")
+        depths = []
+
+        def user():
+            yield from res.use(2)
+
+        def watcher():
+            # sample at t=1/3/5, between the t=2 and t=4 hand-offs
+            yield sim.timeout(1)
+            for _ in range(3):
+                depths.append(res.queue_depth)
+                yield sim.timeout(2)
+
+        sim.process(user())
+        sim.process(user())
+        sim.process(watcher())
+        sim.run()
+        assert depths == [2, 1, 0]
 
     def test_parallel_resources_do_not_serialize(self):
         sim = Simulator()

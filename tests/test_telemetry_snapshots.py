@@ -1,0 +1,169 @@
+"""Sim-time snapshot sampling: series mechanics, determinism, opt-in purity."""
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import ClusterConfig, Simulator, run_workload
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import ECFusionPlanner
+from repro.telemetry import SNAPSHOTS, SnapshotCollector, SnapshotSampler, SnapshotSeries
+from repro.workloads import FailureEvent, OpType, Request, Trace
+
+GAMMA = 1024.0 * 1024
+
+
+@pytest.fixture(autouse=True)
+def clean_singletons():
+    telemetry.disable()
+    telemetry.reset()
+    default_interval = SNAPSHOTS.interval
+    yield
+    telemetry.disable()
+    telemetry.reset()
+    SNAPSHOTS.interval = default_interval
+
+
+def small_workload(num_requests=40, failures=4):
+    scheme = ECFusionPlanner(4, 2, GAMMA)
+    requests = [
+        Request(
+            time=0.5 * i,
+            op=OpType.READ if i % 3 else OpType.WRITE,
+            stripe=i % 6,
+            block=i % 4,
+        )
+        for i in range(num_requests)
+    ]
+    fails = [FailureEvent(time=1.0 + i, stripe=i % 6, block=1) for i in range(failures)]
+    config = ClusterConfig(num_nodes=18, profile=SystemProfile(gamma=GAMMA))
+    return scheme, Trace(name="t", requests=requests), fails, config
+
+
+class TestSnapshotSeries:
+    def test_append_and_column(self):
+        s = SnapshotSeries("lab", ["a", "b"])
+        s.append(0.0, {"a": 1, "b": 2})
+        s.append(5.0, {"a": 3})  # missing field defaults to 0.0
+        assert len(s) == 2
+        assert s.ts == [0.0, 5.0]
+        assert s.column("a") == [1.0, 3.0]
+        assert s.column("b") == [2.0, 0.0]
+
+    def test_to_dict_shape(self):
+        s = SnapshotSeries("lab", ["x"])
+        s.append(1.0, {"x": 9})
+        d = s.to_dict()
+        assert d == {
+            "label": "lab",
+            "fields": ["x"],
+            "ts": [1.0],
+            "series": {"x": [9.0]},
+        }
+
+    def test_to_csv_round_trips_floats(self):
+        s = SnapshotSeries("lab", ["x"])
+        s.append(0.1, {"x": 0.3})
+        header, row = s.to_csv().splitlines()
+        assert header == "ts,x"
+        ts, x = (float(v) for v in row.split(","))
+        assert ts == 0.1 and x == 0.3  # repr() keeps full precision
+
+
+class TestSnapshotSampler:
+    def test_rejects_bad_interval_and_missing_probes(self):
+        series = SnapshotSeries("lab", ["x"])
+        with pytest.raises(ValueError):
+            SnapshotSampler(series, {"x": lambda: 0.0}, interval=0)
+        with pytest.raises(ValueError):
+            SnapshotSampler(series, {}, interval=1.0)
+
+    def test_attach_samples_at_interval_without_extending_run(self):
+        sim = Simulator()
+        depth = [0]
+
+        def work():
+            for _ in range(3):
+                depth[0] += 1
+                yield sim.timeout(4)
+
+        series = SnapshotSeries("lab", ["depth"])
+        SnapshotSampler(series, {"depth": lambda: depth[0]}, interval=3.0).attach(sim)
+        sim.process(work())
+        sim.run()
+        assert sim.now == 12.0  # the sampler never extends the workload
+        assert series.ts == [0.0, 3.0, 6.0, 9.0]
+        # attached first, so the t=0 sample precedes the work's first step
+        assert series.column("depth") == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestSnapshotCollector:
+    def test_enable_sets_interval_and_validates(self):
+        c = SnapshotCollector()
+        c.enable(interval=2.5)
+        assert c.enabled and c.interval == 2.5
+        with pytest.raises(ValueError):
+            c.enable(interval=-1)
+
+    def test_sample_into_records_and_get_returns_latest(self):
+        c = SnapshotCollector(enabled=True, interval=1.0)
+        sim = Simulator()
+
+        def work():
+            yield sim.timeout(2)
+
+        first = c.sample_into(sim, "run", {"v": lambda: 7.0})
+        sim.process(work())
+        sim.run()
+        second = c.sample_into(Simulator(), "run", {"v": lambda: 0.0})
+        assert c.labels() == ["run", "run"]
+        assert c.get("run") is second and first is not second
+        assert c.get("missing") is None
+        # samples at t=0 and t=1; the t=2 tick ties with the workload's
+        # last event and daemons never outlive the foreground
+        assert len(first) == 2 and first.column("v") == [7.0, 7.0]
+        assert [d["label"] for d in c.to_dict()] == ["run", "run"]
+        c.clear()
+        assert len(c) == 0
+
+
+class TestWorkloadSnapshots:
+    def test_disabled_records_nothing(self):
+        run_workload(*small_workload())
+        assert len(SNAPSHOTS) == 0
+
+    def test_enabled_records_expected_fields(self):
+        telemetry.enable(snapshots=True)
+        SNAPSHOTS.enable(interval=0.1)  # the tiny workload runs ~1.5 sim-s
+        run_workload(*small_workload())
+        assert len(SNAPSHOTS) == 1
+        series = SNAPSHOTS.series[0]
+        assert len(series) > 1
+        for field in ("msr_share", "queue1_occupancy", "queue2_occupancy",
+                      "degraded_outstanding", "nic_in_flight"):
+            assert field in series.fields
+        # msr share is a fraction of the working set
+        assert all(0.0 <= v <= 1.0 for v in series.column("msr_share"))
+        # cumulative probes never decrease
+        moved = series.column("nic_bytes_moved")
+        assert moved == sorted(moved) and moved[-1] > 0
+
+    def test_same_seed_gives_identical_series(self):
+        telemetry.enable(snapshots=True)
+        SNAPSHOTS.enable(interval=0.1)
+        run_workload(*small_workload())
+        first = SNAPSHOTS.series[0].to_dict()
+        telemetry.reset()
+        run_workload(*small_workload())
+        second = SNAPSHOTS.series[0].to_dict()
+        assert len(first["ts"]) > 1
+        assert first == second
+
+    def test_snapshots_do_not_change_results(self):
+        baseline = run_workload(*small_workload())
+        telemetry.enable(snapshots=True)
+        observed = run_workload(*small_workload())
+        assert observed.read_latencies == baseline.read_latencies
+        assert observed.write_latencies == baseline.write_latencies
+        assert observed.recovery_latencies == baseline.recovery_latencies
+        assert observed.conversion_latencies == baseline.conversion_latencies
+        assert observed.sim_time == baseline.sim_time

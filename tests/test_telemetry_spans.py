@@ -1,0 +1,182 @@
+"""Offline span analytics: JSONL parsing, reconstruction, aggregates, churn."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import ClusterConfig, run_workload
+from repro.fusion.costmodel import SystemProfile
+from repro.hybrid import ECFusionPlanner
+from repro.telemetry import (
+    TRACER,
+    Timer,
+    analyze_events,
+    analyze_trace,
+    load_events,
+)
+from repro.workloads import FailureEvent, OpType, Request, Trace
+
+GAMMA = 1024.0 * 1024
+
+
+@pytest.fixture(autouse=True)
+def clean_singletons():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def small_workload(num_requests=40, failures=4):
+    scheme = ECFusionPlanner(4, 2, GAMMA)
+    requests = [
+        Request(
+            time=0.5 * i,
+            op=OpType.READ if i % 3 else OpType.WRITE,
+            stripe=i % 6,
+            block=i % 4,
+        )
+        for i in range(num_requests)
+    ]
+    fails = [FailureEvent(time=1.0 + i, stripe=i % 6, block=1) for i in range(failures)]
+    config = ClusterConfig(num_nodes=18, profile=SystemProfile(gamma=GAMMA))
+    return scheme, Trace(name="t", requests=requests), fails, config
+
+
+class TestLoadEvents:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rows = [
+            {"ts": 1.0, "kind": "request", "latency": 0.5},
+            {"ts": 2.0, "kind": "adapt"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        assert load_events(path) == rows
+
+    def test_bad_json_names_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ts": 1.0, "kind": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match="2"):
+            load_events(path)
+
+    def test_missing_required_keys(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "x"}\n')
+        with pytest.raises(ValueError, match="ts"):
+            load_events(path)
+
+
+class TestSpanReconstruction:
+    def test_span_window_is_ts_minus_latency(self):
+        analysis = analyze_events(
+            [{"ts": 10.0, "kind": "recovery", "latency": 4.0, "stripe": 7}]
+        )
+        (span,) = analysis.spans
+        assert span.kind == "recovery"
+        assert span.start == 6.0 and span.end == 10.0 and span.duration == 4.0
+        assert span.fields == {"stripe": 7}
+
+    def test_events_without_latency_yield_no_span(self):
+        analysis = analyze_events([{"ts": 1.0, "kind": "adapt", "stripe": 3}])
+        assert analysis.spans == [] and len(analysis.events) == 1
+
+    def test_aggregates_percentiles(self):
+        events = [
+            {"ts": float(i + 1), "kind": "request", "latency": 0.01 * (i + 1)}
+            for i in range(100)
+        ]
+        agg = analyze_events(events).aggregates()["request"]
+        assert agg["count"] == 100
+        assert agg["p50"] == pytest.approx(0.51)  # nearest rank round(q*(n-1))
+        assert agg["p95"] == pytest.approx(0.95)
+        assert agg["p99"] == pytest.approx(0.99)
+        assert agg["max"] == pytest.approx(1.0)
+
+    def test_slowest_orders_by_duration(self):
+        events = [
+            {"ts": 10.0, "kind": "recovery", "latency": lat, "stripe": i}
+            for i, lat in enumerate((1.0, 5.0, 3.0, 2.0))
+        ]
+        top = analyze_events(events).slowest("recovery", 2)
+        assert [s.fields["stripe"] for s in top] == [1, 2]
+
+    def test_conversion_churn_tracks_flips_and_savings(self):
+        events = [
+            {"ts": 1.0, "kind": "adapt", "stripe": 4, "target": "msr"},
+            {"ts": 2.0, "kind": "conversion", "stripe": 4, "latency": 0.5,
+             "bytes_read": 100.0, "saved": 40.0},
+            {"ts": 3.0, "kind": "adapt", "stripe": 4, "target": "rs"},
+            {"ts": 4.0, "kind": "adapt", "stripe": 9, "target": "msr"},
+        ]
+        churn = analyze_events(events).conversion_churn()
+        assert churn[0]["stripe"] == "4"
+        assert churn[0]["flips"] == 2
+        assert churn[0]["to_msr"] == 1 and churn[0]["to_rs"] == 1
+        assert churn[0]["conversions"] == 1
+        assert churn[0]["bytes_read"] == 100.0 and churn[0]["bytes_saved"] == 40.0
+        assert churn[1]["stripe"] == "9" and churn[1]["conversions"] == 0
+
+
+class TestRecordedTraceRoundTrip:
+    def test_workload_trace_reconstructs(self, tmp_path):
+        telemetry.enable(tracing=True)
+        run_workload(*small_workload())
+        path = tmp_path / "trace.jsonl"
+        count = TRACER.dump_jsonl(path)
+        analysis = analyze_trace(path)
+        assert len(analysis.events) == count
+        agg = analysis.aggregates()
+        assert "request" in agg and "recovery" in agg
+        for summary in agg.values():
+            assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+        # conversions carry the intermediary-parity byte accounting
+        conv = next(e for e in analysis.events if e["kind"] == "conversion")
+        assert conv["bytes_read"] > 0 and conv["saved"] >= 0
+        # every reconstructed span sits inside the simulated timeline
+        for span in analysis.spans:
+            assert 0.0 <= span.start <= span.end
+
+    def test_to_dict_and_render(self, tmp_path):
+        telemetry.enable(tracing=True)
+        run_workload(*small_workload())
+        path = tmp_path / "trace.jsonl"
+        TRACER.dump_jsonl(path)
+        analysis = analyze_trace(path)
+        d = analysis.to_dict(top=2)
+        assert {"events", "kinds", "aggregates", "slowest_repairs",
+                "requests", "conversion_churn"} <= set(d)
+        assert len(d["slowest_repairs"]) <= 2
+        text = analysis.render(top=2)
+        assert "kinds:" in text and "slowest repairs" in text
+
+
+class TestTimer:
+    def test_measures_with_injected_clock(self):
+        clock = iter([2.0, 5.5])
+        with Timer(None, clock=lambda: next(clock)) as t:
+            pass
+        assert t.elapsed == pytest.approx(3.5)
+
+    def test_registry_timer_observes_histogram(self):
+        telemetry.enable()
+        clock = iter([1.0, 3.0])
+        with telemetry.METRICS.timer("t.lat", clock=lambda: next(clock)):
+            pass
+        h = telemetry.METRICS.histogram("t.lat")
+        assert h.count == 1 and h.max == pytest.approx(2.0)
+
+    def test_disabled_registry_still_measures_but_records_nothing(self):
+        clock = iter([0.0, 1.0])
+        with telemetry.METRICS.timer("t.lat", clock=lambda: next(clock)) as t:
+            pass
+        assert t.elapsed == pytest.approx(1.0)
+        assert len(telemetry.METRICS) == 0
+
+    def test_exception_skips_observation(self):
+        telemetry.enable()
+        with pytest.raises(RuntimeError):
+            with telemetry.METRICS.timer("t.lat"):
+                raise RuntimeError("boom")
+        assert telemetry.METRICS.histogram("t.lat").count == 0
