@@ -1,0 +1,337 @@
+"""Fault model: typed fault events, named profiles, seeded schedules.
+
+The paper's evaluation (§IV) injects only clean permanent chunk losses;
+production failure weather is messier — Rashmi et al.'s warehouse study
+found most failures transient and correlated, and repair-pipelining work
+shows stragglers and degraded links dominate repair tails.  This module
+describes that weather as plain data:
+
+* fault dataclasses — :class:`SlowdownFault` (straggling disk/CPU or a
+  degraded link), :class:`PartitionFault` (a node or whole rack goes
+  dark for a while), :class:`CorruptionFault` (a chunk silently rots
+  until a scrubber notices), :class:`NodeKillFault` (permanent death);
+* :class:`ChaosProfile` — the knobs of one storm recipe, with the named
+  presets in :data:`PROFILES` (``stragglers``, ``partitions``,
+  ``corruption``, ``storm``);
+* :func:`generate_schedule` — profile + seed → a time-ordered
+  :class:`FaultSchedule`, fully deterministic so a campaign replays
+  bit-identically under the same ``--chaos-seed``.
+
+Everything here is pure data + RNG; the :mod:`repro.chaos.engine` turns
+a schedule into live simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..workloads.failures import correlated_fault_times
+
+__all__ = [
+    "ChaosError",
+    "PartitionError",
+    "SlowdownFault",
+    "PartitionFault",
+    "CorruptionFault",
+    "NodeKillFault",
+    "FaultSchedule",
+    "ChaosProfile",
+    "ChaosConfig",
+    "PROFILES",
+    "resolve_profile",
+    "generate_schedule",
+]
+
+
+class ChaosError(Exception):
+    """Base class for injected-fault errors surfaced to operations."""
+
+
+class PartitionError(ChaosError):
+    """A transfer timed out because the peer node is partitioned."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} unreachable (network partition)")
+        self.node = node
+
+
+# ------------------------------------------------------------------ faults
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Transient derating of one node's resources (straggler / slow link).
+
+    ``resources`` names which of the node's FIFO servers are derated:
+    ``("disk", "cpu")`` models a straggling storage server, ``("nic",)``
+    a degraded network link.  Service times multiply by ``factor`` for
+    ``duration`` simulated seconds, then heal.
+    """
+
+    time: float
+    node: int
+    factor: float
+    duration: float
+    resources: tuple[str, ...] = ("disk", "cpu")
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """A node (or a whole rack) becomes unreachable for a while.
+
+    Exactly one of ``node``/``rack`` is set.  Reads and writes against a
+    partitioned node stall for the profile's ``partition_timeout`` and
+    then fail with :class:`PartitionError`; repairs retry with
+    exponential backoff (see :class:`~repro.cluster.RecoveryManager`).
+    """
+
+    time: float
+    duration: float
+    node: int | None = None
+    rack: int | None = None
+
+    def __post_init__(self):
+        if (self.node is None) == (self.rack is None):
+            raise ValueError("set exactly one of node / rack")
+
+
+@dataclass(frozen=True)
+class CorruptionFault:
+    """Silent corruption of one chunk, addressed by working-set index.
+
+    ``stripe_index`` is resolved against the namenode's registration
+    order at fire time (stripes are created lazily by the write stream),
+    so schedules stay valid for any working-set size.
+    """
+
+    time: float
+    stripe_index: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class NodeKillFault:
+    """Permanent node death (not in the built-in profiles; for tests)."""
+
+    time: float
+    node: int
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One seeded storm: every fault the engine will inject, time-ordered."""
+
+    slowdowns: tuple[SlowdownFault, ...] = ()
+    partitions: tuple[PartitionFault, ...] = ()
+    corruptions: tuple[CorruptionFault, ...] = ()
+    kills: tuple[NodeKillFault, ...] = ()
+
+    def __len__(self) -> int:
+        return (
+            len(self.slowdowns)
+            + len(self.partitions)
+            + len(self.corruptions)
+            + len(self.kills)
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Injected-fault count per fault family."""
+        return {
+            "slowdown": len(self.slowdowns),
+            "partition": len(self.partitions),
+            "corruption": len(self.corruptions),
+            "kill": len(self.kills),
+        }
+
+
+# ---------------------------------------------------------------- profiles
+@dataclass(frozen=True)
+class ChaosProfile:
+    """One storm recipe: how many faults of each family, and their shape.
+
+    Fault *counts* are drawn over ``horizon`` simulated seconds (events
+    landing after the workload drains simply never fire — fault timers
+    are kernel daemons).  ``burstiness`` feeds
+    :func:`repro.workloads.correlated_fault_times`, so faults cluster in
+    time like production failures do.
+
+    The retry knobs (``partition_timeout``, ``retry_backoff``,
+    ``max_retries``) and the scrubber knobs (``scrub_interval``,
+    ``verify_bytes``) ride along because they are part of the fault
+    *model*: how long a transfer stalls before giving up, how quickly
+    latent corruption is noticed.
+    """
+
+    name: str
+    horizon: float = 120.0
+    burstiness: float = 1.0
+    # -- transient slowdowns / link degradation
+    slowdowns: int = 0
+    slowdown_factor: tuple[float, float] = (2.0, 8.0)
+    slowdown_duration: tuple[float, float] = (5.0, 30.0)
+    #: probability a slowdown hits the NIC (link degradation) instead of
+    #: the disk+CPU pair (storage straggler)
+    link_share: float = 0.3
+    # -- partitions
+    partitions: int = 0
+    partition_duration: tuple[float, float] = (2.0, 15.0)
+    #: probability a partition takes out a whole rack (when racks > 1)
+    rack_share: float = 0.5
+    partition_timeout: float = 1.0
+    retry_backoff: float = 0.5
+    max_retries: int = 6
+    # -- silent corruption + scrubbing
+    corruptions: int = 0
+    scrub_interval: float = 10.0
+    verify_bytes: float = 64 * 1024
+    # -- permanent deaths (kept at 0 in every built-in profile)
+    kills: int = 0
+
+    def __post_init__(self):
+        for name in ("slowdowns", "partitions", "corruptions", "kills"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.horizon <= 0 or self.scrub_interval <= 0:
+            raise ValueError("horizon and scrub_interval must be positive")
+        if self.partition_timeout <= 0 or self.retry_backoff <= 0:
+            raise ValueError("partition_timeout and retry_backoff must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        for lo, hi in (
+            self.slowdown_factor,
+            self.slowdown_duration,
+            self.partition_duration,
+        ):
+            if lo <= 0 or hi < lo:
+                raise ValueError("range knobs need 0 < lo <= hi")
+
+
+#: Named storm recipes selectable via ``--chaos-profile``.
+PROFILES: dict[str, ChaosProfile] = {
+    "stragglers": ChaosProfile(name="stragglers", slowdowns=24, link_share=0.25),
+    "partitions": ChaosProfile(
+        name="partitions", partitions=8, slowdowns=6, link_share=1.0
+    ),
+    "corruption": ChaosProfile(name="corruption", corruptions=10, scrub_interval=5.0),
+    "storm": ChaosProfile(
+        name="storm",
+        slowdowns=16,
+        partitions=5,
+        corruptions=6,
+        scrub_interval=5.0,
+    ),
+}
+
+
+def resolve_profile(profile: str | ChaosProfile) -> ChaosProfile:
+    """Look up a named profile (or pass a :class:`ChaosProfile` through)."""
+    if isinstance(profile, ChaosProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; choose from {sorted(PROFILES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything ``run_workload`` needs to run one seeded chaos campaign.
+
+    Hashable (profiles resolve by name through :data:`PROFILES` when given
+    as strings), so it can sit inside the memoised experiment-campaign
+    cache key.
+    """
+
+    profile: str | ChaosProfile = "storm"
+    seed: int = 0
+    verify_invariants: bool = False
+    invariant_interval: float = 5.0
+
+    def resolved(self) -> ChaosProfile:
+        return resolve_profile(self.profile)
+
+
+# --------------------------------------------------------------- generation
+def generate_schedule(
+    profile: str | ChaosProfile,
+    num_nodes: int,
+    racks: int = 1,
+    num_stripes: int = 1,
+    blocks_per_stripe: int = 1,
+    seed: int = 0,
+) -> FaultSchedule:
+    """Draw one deterministic fault schedule for a cluster shape.
+
+    Corruption targets are spread over *distinct* stripes first (each
+    stripe's erasure budget is precious — the invariant harness treats
+    any stripe beyond its code tolerance as a durability event), wrapping
+    only when there are more corruptions than stripes.
+    """
+    profile = resolve_profile(profile)
+    if num_nodes <= 0 or racks < 1 or num_stripes <= 0 or blocks_per_stripe <= 0:
+        raise ValueError("cluster shape parameters must be positive")
+    rng = np.random.default_rng(seed)
+
+    slowdowns = []
+    for t in correlated_fault_times(
+        profile.slowdowns, profile.horizon, profile.burstiness, rng
+    ):
+        node = int(rng.integers(num_nodes))
+        lo, hi = profile.slowdown_factor
+        factor = float(rng.uniform(lo, hi))
+        dlo, dhi = profile.slowdown_duration
+        duration = float(rng.uniform(dlo, dhi))
+        resources = ("nic",) if rng.random() < profile.link_share else ("disk", "cpu")
+        slowdowns.append(
+            SlowdownFault(
+                time=t, node=node, factor=factor, duration=duration, resources=resources
+            )
+        )
+
+    partitions = []
+    for t in correlated_fault_times(
+        profile.partitions, profile.horizon, profile.burstiness, rng
+    ):
+        dlo, dhi = profile.partition_duration
+        duration = float(rng.uniform(dlo, dhi))
+        if racks > 1 and rng.random() < profile.rack_share:
+            partitions.append(
+                PartitionFault(time=t, duration=duration, rack=int(rng.integers(racks)))
+            )
+        else:
+            partitions.append(
+                PartitionFault(
+                    time=t, duration=duration, node=int(rng.integers(num_nodes))
+                )
+            )
+
+    corruptions = []
+    stripe_order = rng.permutation(num_stripes)
+    for i, t in enumerate(
+        correlated_fault_times(
+            profile.corruptions, profile.horizon, profile.burstiness, rng
+        )
+    ):
+        corruptions.append(
+            CorruptionFault(
+                time=t,
+                stripe_index=int(stripe_order[i % num_stripes]),
+                slot=int(rng.integers(blocks_per_stripe)),
+            )
+        )
+
+    kills = [
+        NodeKillFault(time=t, node=int(rng.integers(num_nodes)))
+        for t in correlated_fault_times(
+            profile.kills, profile.horizon, profile.burstiness, rng
+        )
+    ]
+
+    return FaultSchedule(
+        slowdowns=tuple(slowdowns),
+        partitions=tuple(partitions),
+        corruptions=tuple(corruptions),
+        kills=tuple(kills),
+    )

@@ -1,0 +1,354 @@
+"""Property harness: invariants the cluster must hold under any storm.
+
+The checker walks live simulation state at a configurable sim-time
+interval (as a kernel daemon, so checking never changes what happens or
+when the run ends) and again at end of run.  Three invariant families:
+
+**Durability** — every live stripe is decodable: its outstanding erasures
+(lost-but-unrebuilt chunks plus corrupted-and-undetected/unrepaired
+chunks) stay within the scheme's erasure tolerance, *or* the stripe has
+been explicitly reported unrecoverable.  Losing data silently is the one
+unforgivable failure mode; losing it loudly is a reported event.
+
+The tolerance used is ``width − k`` — exact for MDS codes (RS, MSR);
+for LRC it is the global upper bound (some erasure *patterns* within the
+bound are not decodable by local repair alone, but LRC's global parities
+still cover them, so the bound is the correct durability criterion).
+
+**Metadata consistency** — the namenode's picture agrees with the nodes:
+placements have exactly ``width`` distinct in-range nodes, node objects
+sit at their registered ids, and every failed/corrupted chunk address
+refers to a registered stripe and a valid slot.
+
+**Conversion safety** — the RS↔MSR journal is clean: the set of stripes
+the chaos state believes are mid-conversion exactly matches the stripes
+the namenode has flagged ``converting``, and at end of run the journal is
+empty (every conversion either committed or rolled back — no stripe is
+ever left half-converted).  :func:`verify_conversion_safety` additionally
+proves the codec-level half: transforms under injected source losses are
+*byte-identical* to the fault-free conversion or abort with inputs
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from ..telemetry import METRICS, TRACER
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantReport",
+    "InvariantChecker",
+    "verify_conversion_safety",
+]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    time: float
+    invariant: str  # "durability" | "metadata" | "conversion"
+    stripe: Hashable | None
+    detail: str
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of all invariant sweeps over one run."""
+
+    checks: int = 0
+    stripes_checked: int = 0
+    violations: list[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "stripes_checked": self.stripes_checked,
+            "violations": [
+                {
+                    "time": v.time,
+                    "invariant": v.invariant,
+                    "stripe": str(v.stripe),
+                    "detail": v.detail,
+                }
+                for v in self.violations
+            ],
+        }
+
+
+class InvariantChecker:
+    """Sweeps cluster + chaos state, recording violations (never raising).
+
+    Parameters
+    ----------
+    cluster:
+        The live :class:`~repro.cluster.Cluster`.
+    scheme:
+        Active planner; ``width − k`` bounds each stripe's erasure budget.
+    state:
+        The :class:`~repro.chaos.ChaosState` (corruption + journal), or
+        ``None`` when only failure-stream invariants are wanted.
+    failed_blocks:
+        The driver's live set of lost-but-unrebuilt ``(stripe, slot)``.
+    unrecoverable:
+        Live list of dicts (``stripe``/``block``/``reason``/``time``) the
+        driver appends to whenever it *gives up* on a repair — the loud
+        channel that makes beyond-tolerance loss legal.
+    interval:
+        Sim-seconds between sweeps when attached as a daemon.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        scheme,
+        state=None,
+        failed_blocks: set | None = None,
+        unrecoverable: list | None = None,
+        interval: float = 5.0,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster = cluster
+        self.scheme = scheme
+        self.state = state
+        self.failed_blocks = failed_blocks if failed_blocks is not None else set()
+        self.unrecoverable = unrecoverable if unrecoverable is not None else []
+        self.interval = interval
+        self.report = InvariantReport()
+
+    # -- plumbing -----------------------------------------------------------
+    def _violate(self, invariant: str, stripe, detail: str) -> None:
+        violation = InvariantViolation(
+            time=self.cluster.sim.now, invariant=invariant, stripe=stripe, detail=detail
+        )
+        self.report.violations.append(violation)
+        if METRICS.enabled:
+            METRICS.counter("chaos.invariant.violations", unit="violations").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "invariant-violation",
+                ts=violation.time,
+                invariant=invariant,
+                stripe=stripe,
+                detail=detail,
+            )
+
+    def _reported_stripes(self) -> set:
+        return {entry["stripe"] for entry in self.unrecoverable}
+
+    def _erasures_by_stripe(self) -> dict:
+        erasures: dict[Hashable, set[int]] = {}
+        for stripe, slot in self.failed_blocks:
+            erasures.setdefault(stripe, set()).add(slot)
+        if self.state is not None:
+            for stripe, slot in self.state.corrupted:
+                erasures.setdefault(stripe, set()).add(slot)
+        return erasures
+
+    # -- the three invariant families ---------------------------------------
+    def check_durability(self) -> None:
+        """Every stripe decodable within tolerance, or loudly reported."""
+        tolerance = self.scheme.width - self.scheme.k
+        reported = self._reported_stripes()
+        erasures = self._erasures_by_stripe()
+        for info in self.cluster.namenode.stripes():
+            lost = erasures.get(info.stripe_id, ())
+            if len(lost) > tolerance and info.stripe_id not in reported:
+                self._violate(
+                    "durability",
+                    info.stripe_id,
+                    f"{len(lost)} erasures (slots {sorted(lost)}) exceed "
+                    f"tolerance {tolerance} and the stripe was never reported "
+                    f"unrecoverable",
+                )
+
+    def check_metadata(self) -> None:
+        """Namenode placement and chunk addresses agree with the nodes."""
+        nn = self.cluster.namenode
+        num_nodes = len(self.cluster.nodes)
+        for node_id, node in enumerate(self.cluster.nodes):
+            if node.node_id != node_id:
+                self._violate(
+                    "metadata", None, f"node at index {node_id} reports id {node.node_id}"
+                )
+        stripe_ids = set()
+        for info in nn.stripes():
+            stripe_ids.add(info.stripe_id)
+            if len(info.placement) != nn.width:
+                self._violate(
+                    "metadata",
+                    info.stripe_id,
+                    f"placement has {len(info.placement)} slots, width is {nn.width}",
+                )
+            if len(set(info.placement)) != len(info.placement):
+                self._violate(
+                    "metadata", info.stripe_id, f"duplicate nodes in {info.placement}"
+                )
+            bad = [n for n in info.placement if not 0 <= n < num_nodes]
+            if bad:
+                self._violate(
+                    "metadata", info.stripe_id, f"placement names unknown nodes {bad}"
+                )
+        addresses = set(self.failed_blocks)
+        if self.state is not None:
+            addresses |= self.state.corrupted | self.state.detected
+        for stripe, slot in addresses:
+            if stripe not in stripe_ids:
+                self._violate(
+                    "metadata", stripe, f"chunk address for unregistered stripe ({slot})"
+                )
+            elif not 0 <= slot < nn.width:
+                self._violate(
+                    "metadata", stripe, f"chunk address slot {slot} out of range"
+                )
+
+    def check_conversion_journal(self) -> None:
+        """Chaos journal and namenode ``converting`` flags agree exactly."""
+        if self.state is None:
+            return
+        flagged = {
+            info.stripe_id
+            for info in self.cluster.namenode.stripes()
+            if info.extra.get("converting")
+        }
+        for stripe in self.state.converting - flagged:
+            self._violate(
+                "conversion", stripe, "journalled as converting but not flagged"
+            )
+        for stripe in flagged - self.state.converting:
+            self._violate(
+                "conversion", stripe, "flagged converting with no journal entry"
+            )
+
+    # -- sweeps -------------------------------------------------------------
+    def check(self) -> None:
+        """One full sweep of all invariant families."""
+        self.report.checks += 1
+        self.report.stripes_checked += self.cluster.namenode.stripe_count
+        if METRICS.enabled:
+            METRICS.counter("chaos.invariant.checks", unit="checks").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "invariant-check",
+                ts=self.cluster.sim.now,
+                stripes=self.cluster.namenode.stripe_count,
+                violations=len(self.report.violations),
+            )
+        self.check_durability()
+        self.check_metadata()
+        self.check_conversion_journal()
+
+    def attach(self) -> None:
+        """Run sweeps as a kernel daemon every ``interval`` sim-seconds."""
+
+        def loop():
+            while True:
+                yield self.cluster.sim.timeout(self.interval, daemon=True)
+                self.check()
+
+        self.cluster.sim.process(loop(), daemon=True)
+
+    def finalize(self) -> InvariantReport:
+        """End-of-run sweep + terminal-state invariants."""
+        self.check()
+        if self.state is not None and self.state.converting:
+            self._violate(
+                "conversion",
+                None,
+                f"journal not empty at end of run: {sorted(map(str, self.state.converting))}",
+            )
+        reported = self._reported_stripes()
+        for stripe, slot in sorted(self.failed_blocks, key=str):
+            if stripe not in reported:
+                self._violate(
+                    "durability",
+                    stripe,
+                    f"chunk (slot {slot}) still lost at end of run and never "
+                    f"reported unrecoverable",
+                )
+        if self.state is not None:
+            for stripe, slot in sorted(self.state.detected, key=str):
+                if (stripe, slot) in self.state.corrupted and stripe not in reported:
+                    self._violate(
+                        "durability",
+                        stripe,
+                        f"detected corruption (slot {slot}) neither repaired nor "
+                        f"reported by end of run",
+                    )
+        return self.report
+
+
+def verify_conversion_safety(
+    k: int, r: int, rng: np.random.Generator, L: int | None = None
+) -> list[str]:
+    """Codec-level conversion-safety sweep; returns failure descriptions.
+
+    For an EC-Fusion(k, r) pair, checks every single-source-loss scenario
+    of both transform directions against the fault-free conversion:
+
+    * RS→MSR with any one data group lost, or the RS parities lost, must
+      produce **byte-identical** MSR groups via the eq. (3) failover;
+    * MSR→RS with any one group's parities lost must reproduce the exact
+      RS parities from the data failover;
+    * a two-source loss must raise ``TransformAborted`` and leave the
+      input arrays bit-for-bit untouched (clean rollback).
+
+    An empty return value means the invariant holds.
+    """
+    from ..fusion.transform import ChunkUnavailable, FusionTransformer, TransformAborted
+
+    tr = FusionTransformer(k=k, r=r)
+    if L is None:
+        L = tr.subpacketization * 4
+    failures: list[str] = []
+    data = rng.integers(0, 256, (k, L), dtype=np.uint8)
+    coded = tr.rs.encode(data)
+    rs_parity = coded[k:].copy()
+    clean = tr.rs_to_msr(data, rs_parity)
+
+    def lose(*lost):
+        def hook(phase, group):
+            if (phase, group) in lost:
+                raise ChunkUnavailable(phase, group)
+
+        return hook
+
+    scenarios = [("parity", -1)] + [("data", i) for i in range(tr.q)]
+    for scenario in scenarios:
+        out = tr.rs_to_msr(data, rs_parity, fault_hook=lose(scenario))
+        for i, (got, want) in enumerate(zip(out.groups, clean.groups)):
+            if not np.array_equal(got, want):
+                failures.append(f"rs_to_msr lost {scenario}: group {i} differs")
+
+    msr_parities = [g[r:].copy() for g in clean.groups]
+    clean_back = tr.msr_to_rs(msr_parities)
+    if not np.array_equal(clean_back.parity, rs_parity):
+        failures.append("msr_to_rs fault-free round trip broken")
+    for i in range(tr.q):
+        out = tr.msr_to_rs(msr_parities, fault_hook=lose(("parity", i)), data=data)
+        if not np.array_equal(out.parity, rs_parity):
+            failures.append(f"msr_to_rs lost group {i} parities: output differs")
+
+    # beyond-failover loss must abort cleanly, inputs untouched
+    data_before, parity_before = data.copy(), rs_parity.copy()
+    try:
+        tr.rs_to_msr(data, rs_parity, fault_hook=lose(("data", 0), ("data", tr.q - 1)))
+        if tr.q > 1:
+            failures.append("rs_to_msr double loss did not abort")
+    except TransformAborted:
+        pass
+    if not (
+        np.array_equal(data, data_before) and np.array_equal(rs_parity, parity_before)
+    ):
+        failures.append("aborted rs_to_msr mutated its inputs")
+    return failures

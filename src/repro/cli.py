@@ -11,6 +11,13 @@ Usage::
     python -m repro fig16 --trace t.jsonl  # dump structured trace events
     python -m repro fig16 --report out.json  # machine-readable campaign report
     python -m repro trace-report t.jsonl   # offline span analytics on a trace
+    python -m repro chaos --chaos-profile storm --chaos-seed 1 \\
+        --verify-invariants --report chaos.json   # seeded fault campaign
+
+``--chaos-profile`` overlays a seeded fault storm (stragglers, rack
+partitions, silent corruption with a background scrubber — see
+``docs/chaos.md``) on *any* simulation experiment; ``chaos`` is the
+dedicated campaign that also prints the durability ledger per scheme.
 
 Simulation-backed commands share one memoised campaign per configuration,
 so ``all`` costs barely more than its slowest member.
@@ -38,6 +45,7 @@ import sys
 import tempfile
 
 from . import telemetry
+from .chaos import PROFILES
 from .experiments import (
     ExperimentConfig,
     eta_landscape,
@@ -98,6 +106,19 @@ def _run_robustness(config: ExperimentConfig, ks) -> str:
     return robustness.render(robustness.compute())
 
 
+def _run_chaos(config: ExperimentConfig, ks) -> str:
+    import dataclasses as _dc
+
+    # size the chaos campaign like the robustness experiment unless the
+    # user overrode the workload scale explicitly
+    compact = _dc.replace(
+        config,
+        num_requests=min(config.num_requests, 300),
+        num_stripes=min(config.num_stripes, 48),
+    )
+    return robustness.render_chaos(robustness.compute_chaos(compact))
+
+
 def _run_sensitivity(config: ExperimentConfig, ks) -> str:
     return sensitivity.render(sensitivity.compute())
 
@@ -125,6 +146,7 @@ EXPERIMENTS = {
     "lifetime": (_run_lifetime, "bathtub-curve adaptation + idle-expiry extension", True),
     "sensitivity": (_run_sensitivity, "EC-Fusion gain vs RS across failure weights", True),
     "robustness": (_run_robustness, "headline gains across workload seeds", True),
+    "chaos": (_run_chaos, "seeded fault-injection campaign + invariant harness", True),
     "table4": (_run_table4, "code allocation per workload category (analytic)", False),
     "table7": (_run_table7, "improvement summary, k in {6,8} (simulation)", True),
 }
@@ -153,6 +175,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="workload seed")
     parser.add_argument(
+        "--chaos-profile",
+        choices=sorted(PROFILES),
+        default=None,
+        help=(
+            "inject a seeded fault storm into every simulation run "
+            "(stragglers / partitions / corruption / storm)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, help="fault-schedule seed (default 0)"
+    )
+    parser.add_argument(
+        "--verify-invariants",
+        action="store_true",
+        help=(
+            "sweep durability/metadata/conversion invariants during chaos "
+            "runs and report violations"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -180,7 +222,19 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["failure_rate"] = args.failure_rate
     if args.seed is not None:
         overrides["seed"] = args.seed
+    overrides.update(_chaos_overrides(args))
     return ExperimentConfig(**overrides)
+
+
+def _chaos_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if args.chaos_profile is not None:
+        overrides["chaos_profile"] = args.chaos_profile
+    if args.chaos_seed is not None:
+        overrides["chaos_seed"] = args.chaos_seed
+    if args.verify_invariants:
+        overrides["verify_invariants"] = True
+    return overrides
 
 
 def _stats_fallback_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -193,6 +247,7 @@ def _stats_fallback_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["failure_rate"] = args.failure_rate
     if args.seed is not None:
         overrides["seed"] = args.seed
+    overrides.update(_chaos_overrides(args))
     return ExperimentConfig(**overrides)
 
 

@@ -6,16 +6,18 @@ and a recovery manager.  :func:`repro.cluster.run_workload` replays a
 trace + failure stream against any :class:`repro.hybrid.SchemePlanner`.
 """
 
-from .client import Client, PlanExecutor
+from .client import Client, DeadNodeError, PlanExecutor
 from .cluster import Cluster, ClusterConfig, SimulationResult, run_workload
 from .events import AllOf, Event, FIFOResource, Process, Simulator
 from .namenode import NameNode, StripeInfo
 from .network import Cpu, Link
 from .node import DataNode
-from .recovery import RecoveryManager
+from .recovery import RecoveryError, RecoveryManager
 from .simdisk import Disk
 
 __all__ = [
+    "DeadNodeError",
+    "RecoveryError",
     "Event",
     "Simulator",
     "Process",

@@ -13,19 +13,36 @@ A request's latency is the makespan of its plans executed in order —
 conversions emitted by adaptive schemes run before the triggering
 operation and are charged to it, exactly as the paper charges EC-Fusion's
 transformation overhead to the overall performance (§IV-E).
+
+With a chaos state attached (``executor.chaos``), every chunk access
+first checks the owning node: a dead node fails fast with
+:class:`DeadNodeError` (never a silent hang), and a partitioned node
+stalls for the chaos profile's timeout before failing with
+:class:`~repro.chaos.PartitionError` — unless the partition heals during
+the wait, in which case the access proceeds.  Without chaos attached the
+paths are unchanged (``node.alive`` is always True in plain runs).
 """
 
 from __future__ import annotations
 
 from typing import Generator, Hashable
 
+from ..chaos.faults import PartitionError
 from ..hybrid.plans import OpPlan
 from .events import Simulator
 from .namenode import NameNode
 from .network import Cpu, Link
 from .node import DataNode
 
-__all__ = ["PlanExecutor", "Client"]
+__all__ = ["DeadNodeError", "PlanExecutor", "Client"]
+
+
+class DeadNodeError(RuntimeError):
+    """A plan addressed a permanently dead node."""
+
+    def __init__(self, node: int):
+        super().__init__(f"node {node} is permanently dead")
+        self.node = node
 
 
 class PlanExecutor:
@@ -41,12 +58,29 @@ class PlanExecutor:
         self.sim = sim
         self.nodes = nodes
         self.namenode = namenode
+        #: optional :class:`~repro.chaos.ChaosState`; None = chaos-free run
+        self.chaos = None
+
+    def _check_reachable(self, node: DataNode) -> Generator:
+        """Fail fast on dead nodes; time out (or outwait) partitions."""
+        if not node.alive:
+            raise DeadNodeError(node.node_id)
+        chaos = self.chaos
+        if chaos is not None and chaos.is_partitioned(node.node_id):
+            yield self.sim.timeout(chaos.partition_timeout)
+            if chaos.is_partitioned(node.node_id):
+                chaos.note_partition_timeout(node.node_id)
+                raise PartitionError(node.node_id)
+            if not node.alive:  # died while we waited out the partition
+                raise DeadNodeError(node.node_id)
 
     def _read_path(self, node: DataNode, nbytes: float) -> Generator:
+        yield from self._check_reachable(node)
         yield from node.disk.read(nbytes)
         yield from node.nic.transfer(nbytes)
 
     def _write_path(self, node: DataNode, nbytes: float) -> Generator:
+        yield from self._check_reachable(node)
         yield from node.nic.transfer(nbytes)
         yield from node.disk.write(nbytes)
 

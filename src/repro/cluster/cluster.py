@@ -12,17 +12,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chaos.engine import ChaosEngine
+from ..chaos.faults import ChaosConfig, PartitionError
+from ..chaos.invariants import InvariantChecker
 from ..fusion.costmodel import SystemProfile
 from ..hybrid.planners import SchemePlanner
 from ..hybrid.plans import PlanKind
 from ..telemetry import METRICS, SNAPSHOTS, TRACER
 from ..workloads.failures import FailureEvent, NodeFailureEvent
 from ..workloads.trace import OpType, Trace
-from .client import Client, PlanExecutor
+from .client import Client, DeadNodeError, PlanExecutor
 from .events import Event, Simulator
 from .namenode import NameNode
 from .node import DataNode
-from .recovery import RecoveryManager
+from .recovery import RecoveryError, RecoveryManager
 
 __all__ = ["ClusterConfig", "SimulationResult", "Cluster", "run_workload"]
 
@@ -76,6 +79,17 @@ class SimulationResult:
     storage_overhead: float = 0.0
     sim_time: float = 0.0
     degraded_reads: int = 0
+    #: requests that failed outright under chaos (dead/partitioned nodes)
+    failed_requests: int = 0
+    #: chunks the cluster *gave up* repairing — each a dict with
+    #: stripe/block/reason/time; losing data is only legal when reported here
+    unrecoverable: list = field(default_factory=list)
+    #: invariant sweeps performed (0 when --verify-invariants is off)
+    invariant_checks: int = 0
+    #: broken invariants, as dicts (time/invariant/stripe/detail)
+    invariant_violations: list = field(default_factory=list)
+    #: chaos campaign summary (injected-fault counts etc.); None = no chaos
+    chaos: dict | None = None
 
     @property
     def app_latencies(self) -> list[float]:
@@ -287,6 +301,7 @@ def run_workload(
     config: ClusterConfig | None = None,
     mode: str = "closed",
     node_failures: list[NodeFailureEvent] | None = None,
+    chaos: ChaosConfig | None = None,
 ) -> SimulationResult:
     """Replay an application trace + failure stream against one scheme.
 
@@ -305,6 +320,15 @@ def run_workload(
     mode) or after half the request stream (closed mode), every data chunk
     the dead node holds spawns a concurrent recovery job — a recovery
     storm contending with foreground traffic.
+
+    ``chaos`` (a :class:`~repro.chaos.ChaosConfig`) overlays a seeded
+    fault-injection campaign: stragglers, partitions, silent corruption
+    with a background scrubber, plus retry/backoff supervision of repair
+    jobs.  With ``verify_invariants`` set, an invariant checker sweeps
+    durability/metadata/conversion properties during the run; results
+    land in :attr:`SimulationResult.invariant_violations`.  ``chaos=None``
+    (the default) leaves every code path bit-identical to a chaos-free
+    build.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -330,57 +354,123 @@ def run_workload(
     if SNAPSHOTS.enabled:
         _attach_snapshots(cluster, scheme, trace, failed_blocks, result)
 
+    engine = None
+    chaos_state = None
+    checker = None
+    if chaos is not None:
+        engine = ChaosEngine(
+            chaos,
+            cluster,
+            scheme,
+            failed_blocks=failed_blocks,
+            num_stripes=len({req.stripe for req in requests}) or 1,
+        )
+        chaos_state = engine.state
+        cluster.executor.chaos = chaos_state
+        if chaos.verify_invariants:
+            checker = InvariantChecker(
+                cluster,
+                scheme,
+                state=chaos_state,
+                failed_blocks=failed_blocks,
+                unrecoverable=result.unrecoverable,
+                interval=chaos.invariant_interval,
+            )
+
     def fire_due_triggers():
         for j, threshold in enumerate(thresholds):
             if progress["done"] >= threshold and not fail_triggers[j].triggered:
                 fail_triggers[j].succeed()
 
-    def run_request(req):
-        degraded = False
-        if req.op is OpType.WRITE:
-            plans = scheme.plan_write(req.stripe)
-            failed_blocks.difference_update(
-                {fb for fb in failed_blocks if fb[0] == req.stripe}
-            )  # a full rewrite re-materialises every chunk
-        elif (req.stripe, req.block) in failed_blocks:
-            plans = scheme.plan_degraded_read(req.stripe, req.block)
-            result.degraded_reads += 1
-            degraded = True
-            if METRICS.enabled:
-                METRICS.counter("cluster.degraded_reads", unit="requests").inc()
-        else:
-            plans = scheme.plan_read(req.stripe, req.block)
-        conversions, main = _split_plans(plans)
-        if conversions:
-            with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
-                yield sim.process(
-                    cluster.client.executor.run_plans(
-                        conversions, req.stripe, cluster.client.cpu, cluster.client.nic
-                    )
-                )
-            _record_conversion(result, scheme, req.stripe, conversions, t.elapsed, sim.now)
-        op_name = "write" if req.op is OpType.WRITE else "read"
-        with METRICS.timer(f"cluster.latency.{op_name}", clock=sim_clock) as t:
-            yield sim.process(cluster.client.submit(main, req.stripe))
-        latency = t.elapsed
-        if req.op is OpType.WRITE:
-            result.write_latencies.append(latency)
-        else:
-            result.read_latencies.append(latency)
+    def report_unrecoverable(stripe, block, reason):
+        """The loud channel: giving up on a chunk is an event, never silence."""
+        result.unrecoverable.append(
+            {"stripe": stripe, "block": block, "reason": reason, "time": sim.now}
+        )
         if METRICS.enabled:
-            METRICS.counter(f"cluster.requests.{op_name}", unit="requests").inc()
+            METRICS.counter("chaos.repair.failures", unit="jobs").inc()
         if TRACER.enabled:
             TRACER.emit(
-                "request",
-                ts=sim.now,
-                scheme=scheme.name,
-                op=op_name,
-                stripe=req.stripe,
-                latency=latency,
-                degraded=degraded,
+                "repair-failed", ts=sim.now, stripe=stripe, block=block, reason=reason
             )
-        progress["done"] += 1
-        fire_due_triggers()
+
+    def run_conversion(submit, stripe, plans):
+        """One conversion, journalled: commits on success, aborts on failure."""
+        if chaos_state is not None:
+            chaos_state.begin_conversion(stripe, cluster.namenode)
+        committed = False
+        try:
+            with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
+                yield sim.process(submit)
+            committed = True
+        finally:
+            if chaos_state is not None:
+                chaos_state.end_conversion(stripe, cluster.namenode, committed=committed)
+        _record_conversion(result, scheme, stripe, plans, t.elapsed, sim.now)
+
+    def run_request(req):
+        degraded = False
+        try:
+            if req.op is OpType.WRITE:
+                plans = scheme.plan_write(req.stripe)
+                failed_blocks.difference_update(
+                    {fb for fb in failed_blocks if fb[0] == req.stripe}
+                )  # a full rewrite re-materialises every chunk
+                if chaos_state is not None:
+                    chaos_state.rewrite_stripe(req.stripe)
+            elif (req.stripe, req.block) in failed_blocks:
+                plans = scheme.plan_degraded_read(req.stripe, req.block)
+                result.degraded_reads += 1
+                degraded = True
+                if METRICS.enabled:
+                    METRICS.counter("cluster.degraded_reads", unit="requests").inc()
+            else:
+                plans = scheme.plan_read(req.stripe, req.block)
+            conversions, main = _split_plans(plans)
+            if conversions:
+                yield from run_conversion(
+                    cluster.client.executor.run_plans(
+                        conversions, req.stripe, cluster.client.cpu, cluster.client.nic
+                    ),
+                    req.stripe,
+                    conversions,
+                )
+            op_name = "write" if req.op is OpType.WRITE else "read"
+            with METRICS.timer(f"cluster.latency.{op_name}", clock=sim_clock) as t:
+                yield sim.process(cluster.client.submit(main, req.stripe))
+            latency = t.elapsed
+            if req.op is OpType.WRITE:
+                result.write_latencies.append(latency)
+            else:
+                result.read_latencies.append(latency)
+            if METRICS.enabled:
+                METRICS.counter(f"cluster.requests.{op_name}", unit="requests").inc()
+            if TRACER.enabled:
+                TRACER.emit(
+                    "request",
+                    ts=sim.now,
+                    scheme=scheme.name,
+                    op=op_name,
+                    stripe=req.stripe,
+                    latency=latency,
+                    degraded=degraded,
+                )
+        except (PartitionError, DeadNodeError) as exc:
+            # chaos made the request fail outright; count it, don't hide it
+            result.failed_requests += 1
+            if METRICS.enabled:
+                METRICS.counter("chaos.requests.failed", unit="requests").inc()
+            if TRACER.enabled:
+                TRACER.emit(
+                    "request-failed",
+                    ts=sim.now,
+                    scheme=scheme.name,
+                    stripe=req.stripe,
+                    error=str(exc),
+                )
+        finally:
+            progress["done"] += 1
+            fire_due_triggers()
 
     def closed_app_stream():
         for req in requests:
@@ -390,6 +480,24 @@ def run_workload(
         yield sim.timeout(req.time)
         yield sim.process(run_request(req))
 
+    def execute_repair(stripe, block, conversions, main):
+        """Run one supervised repair; reports instead of raising on give-up."""
+        try:
+            if conversions:
+                yield from run_conversion(
+                    cluster.recovery.submit(conversions, stripe), stripe, conversions
+                )
+            with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
+                yield sim.process(cluster.recovery.submit(main, stripe))
+        except RecoveryError as exc:
+            report_unrecoverable(stripe, block, str(exc))
+            return False
+        _record_recovery(result, scheme.name, stripe, block, t.elapsed, sim.now)
+        failed_blocks.discard((stripe, block))
+        if chaos_state is not None:
+            chaos_state.repair_chunk(stripe, block)  # a rebuilt chunk is clean
+        return True
+
     def recovery_job(event, trigger=None):
         if trigger is not None:
             yield trigger
@@ -398,16 +506,21 @@ def run_workload(
         failed_blocks.add((event.stripe, event.block))
         plans = scheme.plan_recovery(event.stripe, event.block)
         conversions, main = _split_plans(plans)
-        worker_plans = conversions + main
-        if conversions:
-            with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
-                yield sim.process(cluster.recovery.submit(conversions, event.stripe))
-            _record_conversion(result, scheme, event.stripe, conversions, t.elapsed, sim.now)
-            worker_plans = main
-        with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
-            yield sim.process(cluster.recovery.submit(worker_plans, event.stripe))
-        _record_recovery(result, scheme.name, event.stripe, event.block, t.elapsed, sim.now)
-        failed_blocks.discard((event.stripe, event.block))
+        yield from execute_repair(event.stripe, event.block, conversions, main)
+
+    def corruption_repair(stripe, block):
+        """Scrubber-triggered rebuild of a detected-corrupt chunk."""
+        failed_blocks.add((stripe, block))
+        plans = scheme.plan_recovery(stripe, block)
+        conversions, main = _split_plans(plans)
+        repaired = yield from execute_repair(stripe, block, conversions, main)
+        if repaired and METRICS.enabled:
+            METRICS.counter("chaos.scrub.repairs", unit="chunks").inc()
+
+    if engine is not None:
+        engine.on_corruption_detected = lambda stripe, slot: sim.process(
+            corruption_repair(stripe, slot)
+        )
 
     def chunk_losses_on(node: int) -> list[FailureEvent]:
         """Expand a node loss into per-stripe chunk failures (data slots)."""
@@ -432,16 +545,7 @@ def run_workload(
             conversions, main = _split_plans(plans)
 
             def storm_job(loss=loss, conversions=conversions, main=main):
-                if conversions:
-                    with METRICS.timer("cluster.latency.conversion", clock=sim_clock) as t:
-                        yield sim.process(cluster.recovery.submit(conversions, loss.stripe))
-                    _record_conversion(result, scheme, loss.stripe, conversions, t.elapsed, sim.now)
-                with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
-                    yield sim.process(cluster.recovery.submit(main, loss.stripe))
-                _record_recovery(
-                    result, scheme.name, loss.stripe, loss.block, t.elapsed, sim.now
-                )
-                failed_blocks.discard((loss.stripe, loss.block))
+                yield from execute_repair(loss.stripe, loss.block, conversions, main)
 
             jobs.append(sim.process(storm_job()))
         if TRACER.enabled:
@@ -483,8 +587,18 @@ def run_workload(
             sim.process(recovery_job(event))
         for event in node_failures:
             sim.process(node_storm(event))
+    if engine is not None:
+        engine.attach()
+        if checker is not None:
+            checker.attach()
     sim.run()
 
     result.storage_overhead = scheme.storage_overhead()
     result.sim_time = sim.now
+    if engine is not None:
+        result.chaos = engine.summary()
+        if checker is not None:
+            report = checker.finalize()
+            result.invariant_checks = report.checks
+            result.invariant_violations = report.as_dict()["violations"]
     return result

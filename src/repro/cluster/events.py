@@ -18,6 +18,13 @@ like daemon threads, they fire while real work is pending but never keep
 the simulation alive on their own — ``run()`` stops once only daemon
 events remain.  The telemetry snapshot sampler rides on this to take
 recurring sim-time readings without changing when a workload ends.
+
+Events can also *fail* (:meth:`Event.fail`): waiters get the exception
+thrown into them at their suspension point, exactly like simpy's failed
+events.  A failure nobody waits on re-raises immediately out of
+:meth:`Simulator.run` — a lost source node surfaces as a clear error at
+the call site instead of silently deadlocking the event loop with a
+process that never resumes.
 """
 
 from __future__ import annotations
@@ -31,15 +38,16 @@ __all__ = ["Event", "Simulator", "Process", "AllOf", "FIFOResource"]
 
 
 class Event:
-    """A one-shot event; callbacks run when it succeeds."""
+    """A one-shot event; callbacks run when it succeeds (or fails)."""
 
-    __slots__ = ("sim", "callbacks", "triggered", "value")
+    __slots__ = ("sim", "callbacks", "triggered", "value", "exc")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: list[Callable[[Event], None]] = []
         self.triggered = False
         self.value = None
+        self.exc: BaseException | None = None
 
     def succeed(self, value=None) -> "Event":
         """Fire the event immediately, delivering ``value`` to waiters."""
@@ -48,6 +56,27 @@ class Event:
         self.triggered = True
         self.value = value
         callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event as *failed*: waiters get ``exc`` thrown into them.
+
+        A failure with no registered waiter re-raises on the spot — out of
+        :meth:`Simulator.run` if it happens during the event loop — so a
+        broken operation is always a loud error, never a process that
+        simply stops resuming (the classic hung-event-loop failure mode).
+        """
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self.exc = exc
+        callbacks, self.callbacks = self.callbacks, []
+        if not callbacks:
+            raise exc
         for cb in callbacks:
             cb(self)
         return self
@@ -147,9 +176,19 @@ class Process(Event):
 
     def _step(self, fired: Event) -> None:
         try:
-            target = self._gen.send(fired.value)
+            if fired.exc is not None:
+                # the awaited event failed: surface it at the yield point
+                target = self._gen.throw(fired.exc)
+            else:
+                target = self._gen.send(fired.value)
         except StopIteration as stop:
             self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # the generator raised (or declined to handle a failure):
+            # deliver to whoever waits on this process — or loudly to the
+            # event loop when nobody does
+            self.fail(exc)
             return
         if not isinstance(target, Event):
             raise TypeError(f"process yielded {type(target).__name__}, expected Event")
@@ -157,7 +196,12 @@ class Process(Event):
 
 
 class AllOf(Event):
-    """Barrier event: succeeds when all children have succeeded."""
+    """Barrier event: succeeds when all children have succeeded.
+
+    If any child fails, the barrier fails with that child's exception
+    (first failure wins); siblings keep running but their outcomes are no
+    longer observed through the barrier.
+    """
 
     __slots__ = ("_pending",)
 
@@ -170,9 +214,14 @@ class AllOf(Event):
         for ev in events:
             ev.wait(self._child_done)
 
-    def _child_done(self, _: Event) -> None:
+    def _child_done(self, child: Event) -> None:
+        if self.triggered:
+            return  # barrier already failed on an earlier child
+        if child.exc is not None:
+            self.fail(child.exc)
+            return
         self._pending -= 1
-        if self._pending == 0 and not self.triggered:
+        if self._pending == 0:
             self.succeed()
 
 

@@ -40,12 +40,18 @@ class Link(FIFOResource):
         self.bandwidth = bandwidth
         self.latency = latency
         self.bytes_moved = 0.0
+        #: chaos derating: transfer times are multiplied by this factor while
+        #: a link-degradation fault is active (1.0 = healthy, bit-identical)
+        self.derate = 1.0
 
     def transfer_time(self, nbytes: float) -> float:
         """Service time to move ``nbytes`` through this link."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.latency + nbytes / self.bandwidth if nbytes else 0.0
+        t = self.latency + nbytes / self.bandwidth if nbytes else 0.0
+        if self.derate != 1.0:
+            t *= self.derate
+        return t
 
     def transfer(self, nbytes: float) -> Generator:
         """Generator: occupy the link for one transfer."""
@@ -66,12 +72,18 @@ class Cpu(FIFOResource):
             raise ValueError("alpha must be positive")
         self.alpha = alpha
         self.ops_done = 0.0
+        #: chaos derating: compute times are multiplied by this factor while
+        #: a straggler fault is active (1.0 = healthy, bit-identical)
+        self.derate = 1.0
 
     def compute_time(self, ops: float) -> float:
         """Seconds to perform ``ops`` GF operations."""
         if ops < 0:
             raise ValueError("ops must be non-negative")
-        return ops / self.alpha
+        t = ops / self.alpha
+        if self.derate != 1.0:
+            t *= self.derate
+        return t
 
     def compute(self, ops: float) -> Generator:
         """Generator: occupy the CPU for ``ops`` GF operations."""

@@ -18,6 +18,11 @@ class DataNode:
         Dense index within the cluster.
     disk, nic, cpu:
         The three FIFO resources every operation contends on.
+    alive:
+        Liveness flag.  Nothing in a plain simulation ever clears it; the
+        chaos engine (or a test) calls :meth:`fail` to model a permanently
+        dead node, after which any plan that reads from or writes to this
+        node fails fast instead of hanging the event loop.
     """
 
     def __init__(
@@ -43,6 +48,15 @@ class DataNode:
             sim, name=f"nic{node_id}", bandwidth=net_bandwidth, latency=net_latency
         )
         self.cpu = Cpu(sim, name=f"cpu{node_id}", alpha=alpha)
+        self.alive = True
+
+    def fail(self) -> None:
+        """Mark the node permanently dead (chunk accesses now fail fast)."""
+        self.alive = False
+
+    def restore(self) -> None:
+        """Bring a failed node back (its chunks are assumed re-ingested)."""
+        self.alive = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<DataNode {self.node_id}>"

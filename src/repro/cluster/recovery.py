@@ -4,18 +4,30 @@ Decoding happens on the node that receives the rebuilt chunk (the
 replacement writer), so recovery compute contends with that node's share
 of foreground traffic — the paper's online-recovery interference in
 miniature.
+
+Under chaos, repair jobs are *supervised*: a helper read that times out
+against a partitioned source retries the whole job with exponential
+backoff (the partition usually heals first), while a permanently dead
+source fails the job fast with :class:`RecoveryError` — historically this
+second case silently hung the event loop, because the job's process
+simply never resumed and nothing reported why.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Hashable
 
+from ..chaos.faults import PartitionError
 from ..hybrid.plans import OpPlan
-from ..telemetry import METRICS
-from .client import PlanExecutor
+from ..telemetry import METRICS, TRACER
+from .client import DeadNodeError, PlanExecutor
 from .network import Link
 
-__all__ = ["RecoveryManager"]
+__all__ = ["RecoveryError", "RecoveryManager"]
+
+
+class RecoveryError(RuntimeError):
+    """A reconstruction job gave up; the chunk stays lost (and reported)."""
 
 
 class RecoveryManager:
@@ -52,7 +64,14 @@ class RecoveryManager:
         return self.executor.nodes[info.placement[0]]
 
     def submit(self, plans: list[OpPlan], stripe: Hashable) -> Generator:
-        """Generator for one recovery job (conversions + reconstruction)."""
+        """Generator for one recovery job (conversions + reconstruction).
+
+        With chaos attached, :class:`~repro.chaos.PartitionError` from a
+        helper read retries the job with exponential backoff up to the
+        profile's ``max_retries``; :class:`DeadNodeError` (or exhausted
+        retries) raises :class:`RecoveryError` immediately — the job fails
+        *fast and loud* instead of hanging the event loop.
+        """
         worker = self._decode_node(plans, stripe)
         if self.throttle is not None:
             for plan in plans:
@@ -66,5 +85,35 @@ class RecoveryManager:
             METRICS.histogram("cluster.recovery.fan_in", unit="nodes").observe(
                 max((len(plan.reads) for plan in plans), default=0)
             )
-        yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
+        chaos = self.executor.chaos
+        attempt = 0
+        while True:
+            try:
+                yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
+                break
+            except DeadNodeError as exc:
+                raise RecoveryError(
+                    f"recovery of stripe {stripe!r} aborted: source {exc} — "
+                    f"the chunk needs a different repair plan or is unrecoverable"
+                ) from exc
+            except PartitionError as exc:
+                attempt += 1
+                if chaos is None or attempt > chaos.max_retries:
+                    raise RecoveryError(
+                        f"recovery of stripe {stripe!r} gave up after {attempt} "
+                        f"attempt(s): {exc}"
+                    ) from exc
+                chaos.note_retry()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "repair-retry",
+                        ts=self.executor.sim.now,
+                        stripe=stripe,
+                        attempt=attempt,
+                        node=exc.node,
+                    )
+                # deterministic exponential backoff (no jitter: replayable)
+                yield self.executor.sim.timeout(
+                    chaos.retry_backoff * 2 ** (attempt - 1)
+                )
         self.jobs_completed += 1

@@ -49,13 +49,19 @@ class Disk(FIFOResource):
         self.phi = phi
         self.bytes_read = 0.0
         self.bytes_written = 0.0
+        #: chaos derating: service times are multiplied by this factor while a
+        #: transient slowdown fault is active (1.0 = healthy, bit-identical)
+        self.derate = 1.0
 
     def access_time(self, nbytes: float) -> float:
         """Service time for one read or write of ``nbytes``."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         ios = math.ceil(nbytes / self.phi) if nbytes else 0
-        return ios * self.io_latency + nbytes / self.bandwidth
+        t = ios * self.io_latency + nbytes / self.bandwidth
+        if self.derate != 1.0:
+            t *= self.derate
+        return t
 
     def read(self, nbytes: float) -> Generator:
         """Generator: occupy the disk for one read."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chaos import ChaosConfig
 from ..cluster import ClusterConfig
 from ..fusion.costmodel import SystemProfile
 from ..hybrid import (
@@ -58,6 +59,16 @@ class ExperimentConfig:
         HACFS hot-queue capacity as a fraction of the working set.
     seed:
         Base seed for traces/failures.
+    chaos_profile:
+        Named chaos profile (``--chaos-profile``); ``None`` (default)
+        disables fault injection entirely — runs are bit-identical to a
+        build without the chaos subsystem.
+    chaos_seed:
+        Seed for the chaos fault schedule (``--chaos-seed``); independent
+        of the workload ``seed`` so storms can vary over a fixed workload.
+    verify_invariants:
+        Sweep durability/metadata/conversion invariants during chaos runs
+        (``--verify-invariants``).
     """
 
     k: int = 8
@@ -72,6 +83,9 @@ class ExperimentConfig:
     hacfs_hot_fraction: float = 0.3
     spatial_decay: float = 200.0
     seed: int = 7
+    chaos_profile: str | None = None
+    chaos_seed: int = 0
+    verify_invariants: bool = False
 
     @property
     def profile(self) -> SystemProfile:
@@ -80,6 +94,17 @@ class ExperimentConfig:
     @property
     def cluster(self) -> ClusterConfig:
         return ClusterConfig(num_nodes=self.num_nodes, profile=self.profile)
+
+    @property
+    def chaos(self) -> ChaosConfig | None:
+        """The chaos campaign to overlay on simulations (None = no chaos)."""
+        if self.chaos_profile is None:
+            return None
+        return ChaosConfig(
+            profile=self.chaos_profile,
+            seed=self.chaos_seed,
+            verify_invariants=self.verify_invariants,
+        )
 
     @property
     def queue_capacity(self) -> int:

@@ -67,7 +67,8 @@ def run_campaign(
         schemes = build_schemes(config)  # fresh adaptive state per trace
         for scheme_name in SCHEME_ORDER:
             results[(scheme_name, trace_name)] = run_workload(
-                schemes[scheme_name], trace, failures, config.cluster
+                schemes[scheme_name], trace, failures, config.cluster,
+                chaos=config.chaos,
             )
     campaign = CampaignResults(config=config, results=results)
     if use_cache:

@@ -13,9 +13,18 @@ from .adaptation import AdaptiveSelector, CodeKind, Conversion
 from .costmodel import ALWAYS_MSR, ALWAYS_RS, CostModel, SystemProfile
 from .framework import ECFusion, RecoveryReport, StripeStore
 from .queues import CachePolicy, QueueEntry, TrackingQueue
-from .transform import FusionTransformer, MsrToRsResult, RsToMsrResult, TransformCost
+from .transform import (
+    ChunkUnavailable,
+    FusionTransformer,
+    MsrToRsResult,
+    RsToMsrResult,
+    TransformAborted,
+    TransformCost,
+)
 
 __all__ = [
+    "ChunkUnavailable",
+    "TransformAborted",
     "SystemProfile",
     "CostModel",
     "ALWAYS_RS",

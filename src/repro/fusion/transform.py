@@ -36,7 +36,37 @@ from ..codes import MSRCode, ReedSolomonCode
 from ..gf import apply_to_blocks, cauchy, inverse, matmul
 from ..telemetry import METRICS
 
-__all__ = ["TransformCost", "RsToMsrResult", "MsrToRsResult", "FusionTransformer"]
+__all__ = [
+    "ChunkUnavailable",
+    "TransformAborted",
+    "TransformCost",
+    "RsToMsrResult",
+    "MsrToRsResult",
+    "FusionTransformer",
+]
+
+
+class ChunkUnavailable(RuntimeError):
+    """Raised by a conversion fault hook: this source chunk cannot be read.
+
+    ``phase`` is ``"parity"`` (the stripe's RS or MSR parity set) or
+    ``"data"`` (one data group); ``group`` is the group index (−1 for the
+    whole-stripe RS parity set).
+    """
+
+    def __init__(self, phase: str, group: int):
+        super().__init__(f"{phase} chunks of group {group} unavailable")
+        self.phase = phase
+        self.group = group
+
+
+class TransformAborted(RuntimeError):
+    """A conversion could not complete under the injected faults.
+
+    The transform rolls back cleanly: no partial output is produced and
+    the caller's input arrays are never mutated, so the stripe simply
+    remains in its original code (the conversion-safety invariant).
+    """
 
 
 @dataclass
@@ -171,17 +201,43 @@ class FusionTransformer:
         )
 
     # ------------------------------------------------------------- conversions
-    def rs_to_msr(self, data: np.ndarray, rs_parity: np.ndarray) -> RsToMsrResult:
+    def rs_to_msr(
+        self, data: np.ndarray, rs_parity: np.ndarray, fault_hook=None
+    ) -> RsToMsrResult:
         """Convert one RS stripe into q MSR(2r, r) stripes (Fig. 12(b)).
 
         Reads the first q−1 data groups and the r RS parities; the last
         group's intermediary parity comes from eq. (3) without reading its
         data, and every group's MSR parities from Trans2 (eq. (7)).
+
+        ``fault_hook(phase, group)`` is called before each source read
+        (``("parity", -1)`` for the RS parity set, ``("data", i)`` for
+        group i) and may raise :class:`ChunkUnavailable` to simulate a
+        mid-conversion source loss.  The transform then fails over:
+
+        * one data group unreadable, parity readable → read the normally
+          skipped last group instead and derive the missing group's
+          intermediary parity from eq. (3) — byte-identical output;
+        * parity unreadable → read *all* q data groups and compute every
+          p′_i directly — byte-identical output;
+        * anything worse → :class:`TransformAborted`, inputs untouched.
         """
         with METRICS.timer("fusion.transform.wall.rs_to_msr", unit="s"):
-            return self._rs_to_msr(data, rs_parity)
+            return self._rs_to_msr(data, rs_parity, fault_hook)
 
-    def _rs_to_msr(self, data: np.ndarray, rs_parity: np.ndarray) -> RsToMsrResult:
+    def _read_source(self, fault_hook, phase: str, group: int) -> bool:
+        """Probe one conversion source; False when the hook reports it lost."""
+        if fault_hook is None:
+            return True
+        try:
+            fault_hook(phase, group)
+        except ChunkUnavailable:
+            return False
+        return True
+
+    def _rs_to_msr(
+        self, data: np.ndarray, rs_parity: np.ndarray, fault_hook=None
+    ) -> RsToMsrResult:
         data = np.ascontiguousarray(data, dtype=np.uint8)
         rs_parity = np.ascontiguousarray(rs_parity, dtype=np.uint8)
         L = data.shape[1]
@@ -189,17 +245,43 @@ class FusionTransformer:
         if rs_parity.shape != (self.r, L):
             raise ValueError(f"rs_parity must be ({self.r}, {L}), got {rs_parity.shape}")
         groups = self._pad_groups(data)
-        cost = TransformCost(parity_blocks_read=self.r)
+        cost = TransformCost()
 
-        inter = []
-        acc = rs_parity.copy()
-        for i in range(self.q - 1):
+        parity_ok = self._read_source(fault_hook, "parity", -1)
+        if parity_ok:
+            cost.parity_blocks_read = self.r
+        # Which data groups must be read: normally all but the last (its p′
+        # is derived from the parities); without the parities, all of them.
+        needed = list(range(self.q - 1)) if parity_ok else list(range(self.q))
+        derived = self.q - 1 if parity_ok else None
+        missing = [i for i in needed if not self._read_source(fault_hook, "data", i)]
+        if missing and parity_ok and derived is not None:
+            # Failover: swap ONE lost group with the normally skipped last
+            # group — eq. (3) recovers the lost group's p′ from the parities.
+            if self._read_source(fault_hook, "data", derived):
+                needed = [i for i in range(self.q) if i != missing[0]]
+                derived = missing[0]
+                missing = missing[1:]
+            else:
+                missing.append(derived)
+        if missing:
+            raise TransformAborted(
+                f"rs_to_msr: sources lost beyond failover "
+                f"(parity_ok={parity_ok}, missing groups {sorted(set(missing))})"
+            )
+
+        inter: list[np.ndarray | None] = [None] * self.q
+        for i in needed:
             p_i = apply_to_blocks(self.group_blocks[i], groups[i], w=self._w)
-            inter.append(p_i)
-            np.bitwise_xor(acc, p_i, out=acc)
+            inter[i] = p_i
             cost.data_blocks_read += self.r
             cost.gf_ops += self.r * self.r * L
-        inter.append(acc)  # p′_q = p ⊕ Σ_{i<q} p′_i — no data read for group q
+        if derived is not None:
+            # eq. (3): the one unread group's p′ = p ⊕ all other p′ sets
+            acc = rs_parity.copy()
+            for i in needed:
+                np.bitwise_xor(acc, inter[i], out=acc)
+            inter[derived] = acc
 
         out_groups = []
         for i in range(self.q):
@@ -225,31 +307,66 @@ class FusionTransformer:
             METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(saved)
         return RsToMsrResult(groups=out_groups, cost=cost)
 
-    def msr_to_rs(self, msr_parities: list[np.ndarray]) -> MsrToRsResult:
+    def msr_to_rs(
+        self,
+        msr_parities: list[np.ndarray],
+        fault_hook=None,
+        data: np.ndarray | None = None,
+    ) -> MsrToRsResult:
         """Merge q groups' MSR parities into the RS parities (Fig. 12(a)).
 
         Touches *only* parity blocks: Trans1 (eq. (6)) maps each group's
         MSR parities straight to its intermediary parity, and eq. (3)
         XOR-merges them.
+
+        ``fault_hook(phase, group)`` may raise :class:`ChunkUnavailable`
+        for ``("parity", i)`` probes.  A group whose MSR parities are lost
+        fails over to its *data* blocks when ``data`` (the full (k, L)
+        stripe) is supplied and readable (``("data", i)`` probe): eq. (3)
+        computes p′_i = B_i·d_i directly, byte-identical.  Otherwise the
+        conversion raises :class:`TransformAborted` with inputs untouched.
         """
         with METRICS.timer("fusion.transform.wall.msr_to_rs", unit="s"):
-            return self._msr_to_rs(msr_parities)
+            return self._msr_to_rs(msr_parities, fault_hook, data)
 
-    def _msr_to_rs(self, msr_parities: list[np.ndarray]) -> MsrToRsResult:
+    def _msr_to_rs(
+        self,
+        msr_parities: list[np.ndarray],
+        fault_hook=None,
+        data: np.ndarray | None = None,
+    ) -> MsrToRsResult:
         if len(msr_parities) != self.q:
             raise ValueError(f"expected {self.q} parity groups, got {len(msr_parities)}")
         L = np.asarray(msr_parities[0]).shape[1]
         self._check_block_len(L)
+        data_groups = None
+        if data is not None:
+            data = np.ascontiguousarray(data, dtype=np.uint8)
+            if data.shape != (self.k, L):
+                raise ValueError(f"data must be ({self.k}, {L}), got {data.shape}")
+            data_groups = self._pad_groups(data)
         cost = TransformCost()
         acc = np.zeros((self.r, L), dtype=np.uint8)
         for i, par in enumerate(msr_parities):
             par = np.ascontiguousarray(par, dtype=np.uint8)
             if par.shape != (self.r, L):
                 raise ValueError(f"group {i} parity must be ({self.r}, {L})")
-            p_syms = apply_to_blocks(self.trans1[i], self._syms(par), w=self._w)
-            np.bitwise_xor(acc, self._blocks(p_syms, self.r), out=acc)
-            cost.parity_blocks_read += self.r
-            cost.gf_ops += self.trans1[i].size * (L / self.subpacketization)
+            if self._read_source(fault_hook, "parity", i):
+                p_syms = apply_to_blocks(self.trans1[i], self._syms(par), w=self._w)
+                p_i = self._blocks(p_syms, self.r)
+                cost.parity_blocks_read += self.r
+                cost.gf_ops += self.trans1[i].size * (L / self.subpacketization)
+            elif data_groups is not None and self._read_source(fault_hook, "data", i):
+                # failover: recompute p′_i = B_i·d_i from the group's data
+                p_i = apply_to_blocks(self.group_blocks[i], data_groups[i], w=self._w)
+                cost.data_blocks_read += self.r
+                cost.gf_ops += self.r * self.r * L
+            else:
+                raise TransformAborted(
+                    f"msr_to_rs: group {i} parities lost and no readable data "
+                    f"failover"
+                )
+            np.bitwise_xor(acc, p_i, out=acc)
         cost.blocks_written = self.r
         if METRICS.enabled:
             # naive re-encode would read all k data blocks; Trans1 works from

@@ -11,6 +11,7 @@ from .failures import (
     FailureConfig,
     FailureEvent,
     NodeFailureEvent,
+    correlated_fault_times,
     failures_for_trace,
     generate_bathtub_failures,
     generate_failures,
@@ -39,6 +40,7 @@ __all__ = [
     "generate_bathtub_failures",
     "generate_failures",
     "failures_for_trace",
+    "correlated_fault_times",
     "save_trace",
     "load_trace",
     "save_failures",

@@ -27,6 +27,7 @@ __all__ = [
     "generate_failures",
     "generate_bathtub_failures",
     "failures_for_trace",
+    "correlated_fault_times",
 ]
 
 
@@ -125,6 +126,35 @@ def generate_failures(config: FailureConfig, seed: int = 0) -> list[FailureEvent
             )
         )
     return events
+
+
+def correlated_fault_times(
+    count: int,
+    horizon: float,
+    burstiness: float,
+    rng: np.random.Generator,
+) -> list[float]:
+    """``count`` strictly-increasing event times in (0, ~horizon], bursty.
+
+    The same temporal-locality model as :func:`generate_failures` — gaps
+    drawn from a normal distribution around the mean interval, floored so
+    time always advances — reused by the chaos engine for *transient*
+    fault schedules (stragglers, link degradations, partitions), since
+    production studies (Rashmi et al.) show transient failures cluster in
+    time just like permanent ones.  ``burstiness`` is the gap std-dev as a
+    fraction of the mean gap: 0 yields an evenly spaced schedule, larger
+    values pile faults into storms.
+    """
+    if count < 0 or horizon <= 0 or burstiness < 0:
+        raise ValueError("count/horizon/burstiness must be non-negative (horizon > 0)")
+    mean_gap = horizon / count if count else horizon
+    times: list[float] = []
+    t = 0.0
+    for _ in range(count):
+        gap = rng.normal(mean_gap, burstiness * mean_gap) if burstiness else mean_gap
+        t += max(gap, mean_gap * 0.01)
+        times.append(t)
+    return times
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,361 @@
+"""Tests for the chaos engine: fault application, scrubbing, retries."""
+
+import pytest
+
+from repro.chaos import (
+    PROFILES,
+    ChaosConfig,
+    ChaosProfile,
+    ChaosState,
+    CorruptionFault,
+    FaultSchedule,
+    NodeKillFault,
+    PartitionFault,
+    SlowdownFault,
+    generate_schedule,
+    resolve_profile,
+)
+from repro.chaos.engine import ChaosEngine
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    DeadNodeError,
+    RecoveryError,
+    run_workload,
+)
+from repro.hybrid import RSPlanner
+from repro.workloads.trace import OpType, Request, Trace
+
+GAMMA = 4 * 1024 * 1024  # small chunks keep these sims fast
+
+
+def make_scheme(k=4, r=2):
+    return RSPlanner(k, r, GAMMA)
+
+
+def make_trace(num_stripes=6, reads_per_stripe=4):
+    """Write every stripe once, then read its data blocks round-robin."""
+    reqs = [
+        Request(time=float(s), op=OpType.WRITE, stripe=s, block=0)
+        for s in range(num_stripes)
+    ]
+    t = float(num_stripes)
+    for i in range(num_stripes * reads_per_stripe):
+        reqs.append(
+            Request(time=t, op=OpType.READ, stripe=i % num_stripes, block=i % 4)
+        )
+        t += 1.0
+    return Trace(name="chaos-unit", requests=reqs)
+
+
+def build_cluster(scheme, num_nodes=8, racks=1):
+    return Cluster(ClusterConfig(num_nodes=num_nodes, racks=racks), width=scheme.width)
+
+
+class TestSchedules:
+    def test_profiles_resolve(self):
+        for name in PROFILES:
+            assert resolve_profile(name).name == name
+        with pytest.raises(ValueError, match="unknown chaos profile"):
+            resolve_profile("hurricane")
+
+    def test_schedule_deterministic_per_seed(self):
+        kw = dict(num_nodes=12, racks=3, num_stripes=10, blocks_per_stripe=4)
+        one = generate_schedule("storm", seed=5, **kw)
+        two = generate_schedule("storm", seed=5, **kw)
+        other = generate_schedule("storm", seed=6, **kw)
+        assert one == two
+        assert one != other
+
+    def test_schedule_counts_match_profile(self):
+        sched = generate_schedule(
+            "storm", num_nodes=12, racks=1, num_stripes=10, blocks_per_stripe=4, seed=0
+        )
+        profile = PROFILES["storm"]
+        assert sched.counts() == {
+            "slowdown": profile.slowdowns,
+            "partition": profile.partitions,
+            "corruption": profile.corruptions,
+            "kill": 0,
+        }
+        assert len(sched) == profile.slowdowns + profile.partitions + profile.corruptions
+
+    def test_partition_fault_needs_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            PartitionFault(time=1.0, duration=2.0)
+        with pytest.raises(ValueError):
+            PartitionFault(time=1.0, duration=2.0, node=1, rack=0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ChaosProfile(name="bad", slowdowns=-1)
+        with pytest.raises(ValueError):
+            ChaosProfile(name="bad", slowdown_factor=(3.0, 2.0))
+
+
+class TestChaosState:
+    def test_partition_overlap_nesting(self):
+        state = ChaosState()
+        state.partition([3, 4])
+        state.partition([4])
+        assert state.is_partitioned(3) and state.is_partitioned(4)
+        state.heal([4])
+        assert state.is_partitioned(4)  # still dark from the first partition
+        state.heal([3, 4])
+        assert not state.is_partitioned(3) and not state.is_partitioned(4)
+        assert state.partitioned_nodes() == []
+
+    def test_corruption_lifecycle(self):
+        state = ChaosState()
+        state.corrupt("s1", 2)
+        assert state.latent_corruption() == {("s1", 2)}
+        state.detect("s1", 2)
+        assert state.latent_corruption() == set()
+        state.repair_chunk("s1", 2)
+        assert not state.corrupted and not state.detected
+
+    def test_rewrite_clears_whole_stripe(self):
+        state = ChaosState()
+        state.corrupt("s1", 0)
+        state.corrupt("s1", 3)
+        state.corrupt("s2", 1)
+        state.rewrite_stripe("s1")
+        assert state.corrupted == {("s2", 1)}
+
+
+class TestFaultApplication:
+    def _engine(self, cluster, scheme, schedule, profile=None, failed=None):
+        config = ChaosConfig(profile=profile or PROFILES["storm"], seed=0)
+        engine = ChaosEngine(
+            config, cluster, scheme, failed_blocks=failed if failed is not None else set()
+        )
+        engine.schedule = schedule  # pin an exact storm for the test
+        return engine
+
+    def test_slowdown_derates_then_heals(self):
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        fault = SlowdownFault(time=1.0, node=2, factor=4.0, duration=3.0)
+        engine = self._engine(cluster, scheme, FaultSchedule(slowdowns=(fault,)))
+        engine.attach()
+        disk = cluster.nodes[2].disk
+        seen = []
+
+        def probe():
+            for _ in range(8):
+                yield cluster.sim.timeout(0.75)
+                seen.append((cluster.sim.now, disk.derate, cluster.nodes[2].cpu.derate))
+
+        cluster.sim.process(probe())
+        cluster.sim.run()
+        during = [d for t, d, _ in seen if 1.0 < t < 4.0]
+        after = [d for t, d, _ in seen if t > 4.0]
+        assert during and all(d == 4.0 for d in during)
+        assert after and all(d == 1.0 for d in after)  # healed, snapped to 1.0
+        assert engine.applied["slowdown"] == 1
+        # NIC was never part of this fault
+        assert cluster.nodes[2].nic.derate == 1.0
+
+    def test_rack_partition_covers_all_members(self):
+        scheme = make_scheme()
+        cluster = build_cluster(scheme, num_nodes=9, racks=3)
+        fault = PartitionFault(time=1.0, duration=2.0, rack=1)
+        engine = self._engine(cluster, scheme, FaultSchedule(partitions=(fault,)))
+        engine.attach()
+        members = cluster.namenode.nodes_in_rack(1)
+        seen = []
+
+        def probe():
+            for _ in range(5):
+                yield cluster.sim.timeout(1.0)
+                seen.append((cluster.sim.now, engine.state.partitioned_nodes()))
+
+        cluster.sim.process(probe())
+        cluster.sim.run()
+        assert any(dark == sorted(members) for t, dark in seen if 1.0 < t < 3.0)
+        assert all(dark == [] for t, dark in seen if t > 3.0)
+
+    def test_corruption_respects_erasure_budget(self):
+        scheme = make_scheme(k=4, r=2)  # tolerance = 2
+        cluster = build_cluster(scheme)
+        for s in range(2):
+            cluster.namenode.lookup(s)
+        failed = {(0, 1), (0, 2)}  # stripe 0 already at budget
+        faults = (
+            CorruptionFault(time=1.0, stripe_index=0, slot=0),  # must be suppressed
+            CorruptionFault(time=1.0, stripe_index=1, slot=3),  # lands
+        )
+        engine = self._engine(
+            cluster, scheme, FaultSchedule(corruptions=faults), failed=failed
+        )
+        engine.attach()
+
+        def keepalive():
+            yield cluster.sim.timeout(5)
+
+        cluster.sim.process(keepalive())
+        cluster.sim.run()
+        assert engine.state.corrupted == {(1, 3)}
+        assert engine.suppressed_corruptions == 1
+        assert engine.applied["corruption"] == 1
+
+    def test_kill_marks_node_dead(self):
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        engine = self._engine(
+            cluster, scheme, FaultSchedule(kills=(NodeKillFault(time=1.0, node=3),))
+        )
+        engine.attach()
+
+        def keepalive():
+            yield cluster.sim.timeout(5)
+
+        cluster.sim.process(keepalive())
+        cluster.sim.run()
+        assert not cluster.nodes[3].alive
+        assert engine.applied["kill"] == 1
+
+
+class TestRecoverySupervision:
+    def test_dead_source_fails_fast_with_clear_error(self):
+        """The latent-bug regression: a repair whose helper node is
+        permanently dead must raise RecoveryError promptly — historically
+        the job's process simply never resumed and the run hung silently."""
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        stripe = 0
+        info = cluster.namenode.lookup(stripe)
+        plans = scheme.plan_recovery(stripe, 0)
+        helper = info.placement[1]  # any helper the plan reads from
+        cluster.nodes[helper].fail()
+        caught = []
+
+        def job():
+            try:
+                yield cluster.sim.process(cluster.recovery.submit(plans, stripe))
+            except RecoveryError as exc:
+                caught.append(str(exc))
+
+        cluster.sim.process(job())
+        cluster.sim.run()  # must terminate — no hang
+        assert len(caught) == 1
+        assert str(helper) in caught[0] and "dead" in caught[0]
+        assert cluster.recovery.jobs_completed == 0
+
+    def test_dead_source_without_chaos_attached_still_fails_fast(self):
+        """node.alive is honoured even with no chaos state on the executor."""
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        assert cluster.executor.chaos is None
+        cluster.nodes[0].fail()
+        plans = scheme.plan_read(0, 0)  # stripe 0 slot 0 lives on node 0
+        with pytest.raises(DeadNodeError):
+            def job():
+                yield cluster.sim.process(cluster.client.submit(plans, 0))
+
+            cluster.sim.process(job())
+            cluster.sim.run()
+
+    def test_partition_retries_then_succeeds(self):
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        profile = ChaosProfile(
+            name="test", partition_timeout=0.5, retry_backoff=0.25, max_retries=6
+        )
+        config = ChaosConfig(profile=profile, seed=0)
+        engine = ChaosEngine(config, cluster, scheme)
+        cluster.executor.chaos = engine.state
+        stripe = 0
+        info = cluster.namenode.lookup(stripe)
+        helper = info.placement[1]
+        engine.state.partition([helper])
+
+        def heal_later():
+            yield cluster.sim.timeout(3.0)
+            engine.state.heal([helper])
+
+        done = []
+
+        def job():
+            plans = scheme.plan_recovery(stripe, 0)
+            yield cluster.sim.process(cluster.recovery.submit(plans, stripe))
+            done.append(cluster.sim.now)
+
+        cluster.sim.process(heal_later())
+        cluster.sim.process(job())
+        cluster.sim.run()
+        assert done and done[0] > 3.0  # finished, but only after the heal
+        assert engine.state.retries >= 1
+        assert cluster.recovery.jobs_completed == 1
+
+    def test_partition_exhausts_retries(self):
+        scheme = make_scheme()
+        cluster = build_cluster(scheme)
+        profile = ChaosProfile(
+            name="test", partition_timeout=0.1, retry_backoff=0.1, max_retries=2
+        )
+        engine = ChaosEngine(ChaosConfig(profile=profile), cluster, scheme)
+        cluster.executor.chaos = engine.state
+        stripe = 0
+        info = cluster.namenode.lookup(stripe)
+        engine.state.partition([info.placement[1]])  # never healed
+        caught = []
+
+        def job():
+            plans = scheme.plan_recovery(stripe, 0)
+            try:
+                yield cluster.sim.process(cluster.recovery.submit(plans, stripe))
+            except RecoveryError as exc:
+                caught.append(str(exc))
+
+        cluster.sim.process(job())
+        cluster.sim.run()
+        assert len(caught) == 1 and "gave up" in caught[0]
+        assert engine.state.retries == 2
+
+
+class TestWorkloadIntegration:
+    def test_scrubber_detects_and_repairs_corruption(self):
+        scheme = make_scheme()
+        trace = make_trace(num_stripes=6, reads_per_stripe=6)
+        profile = ChaosProfile(
+            name="test", horizon=10.0, corruptions=3, scrub_interval=1.0
+        )
+        result = run_workload(
+            scheme,
+            trace,
+            config=ClusterConfig(num_nodes=8),
+            chaos=ChaosConfig(profile=profile, seed=3, verify_invariants=True),
+        )
+        chaos = result.chaos
+        assert chaos["applied"]["corruption"] >= 1
+        assert chaos["scrub"]["detected"] == chaos["applied"]["corruption"]
+        # every detected chunk was rebuilt (or loudly reported)
+        assert chaos["latent_corruption"] == []
+        assert result.invariant_violations == []
+        assert result.invariant_checks > 0
+
+    def test_node_kill_reports_unrecoverable_instead_of_hanging(self):
+        scheme = make_scheme()
+        trace = make_trace(num_stripes=6, reads_per_stripe=8)
+        profile = ChaosProfile(name="test", horizon=8.0, kills=2, max_retries=1)
+        result = run_workload(
+            scheme,
+            trace,
+            config=ClusterConfig(num_nodes=8),
+            chaos=ChaosConfig(profile=profile, seed=1, verify_invariants=True),
+        )
+        # the run terminated (no hang) and anything abandoned was reported
+        assert result.sim_time > 0
+        for entry in result.unrecoverable:
+            assert {"stripe", "block", "reason", "time"} <= set(entry)
+        assert result.invariant_violations == []
+
+    def test_chaos_disabled_leaves_no_trace(self):
+        scheme = make_scheme()
+        trace = make_trace()
+        result = run_workload(scheme, trace, config=ClusterConfig(num_nodes=8))
+        assert result.chaos is None
+        assert result.failed_requests == 0
+        assert result.unrecoverable == []
+        assert result.invariant_checks == 0

@@ -284,3 +284,117 @@ class TestFIFOResource:
         sim.process(user(r2, "b"))
         sim.run()
         assert log == [("a", 4.0), ("b", 4.0)]
+
+
+class TestEventFailure:
+    """Failure propagation: failed events throw into waiters (simpy-style)."""
+
+    def test_fail_throws_into_waiting_process(self):
+        sim = Simulator()
+        ev = Event(sim)
+        caught = []
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            yield sim.timeout(1)
+
+        sim.process(proc())
+
+        def failer():
+            yield sim.timeout(2)
+            ev.fail(RuntimeError("boom"))
+
+        sim.process(failer())
+        sim.run()
+        assert caught == ["boom"]
+        assert sim.now == 3.0  # the catching process kept running
+
+    def test_unhandled_failure_propagates_to_process_waiter(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1)
+            raise ValueError("inner exploded")
+
+        def outer():
+            with pytest.raises(ValueError, match="inner exploded"):
+                yield sim.process(inner())
+            yield sim.timeout(1)
+
+        sim.process(outer())
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_failure_with_no_waiter_raises_out_of_run(self):
+        sim = Simulator()
+
+        def doomed():
+            yield sim.timeout(1)
+            raise ValueError("nobody is listening")
+
+        sim.process(doomed())
+        # keep the loop alive past t=1 so the failure happens inside run()
+        def bystander():
+            yield sim.timeout(5)
+
+        sim.process(bystander())
+        with pytest.raises(ValueError, match="nobody is listening"):
+            sim.run()
+
+    def test_fail_requires_exception_instance(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            Event(sim).fail("not an exception")
+
+    def test_fail_after_trigger_rejected(self):
+        sim = Simulator()
+        ev = Event(sim)
+        ev.callbacks.append(lambda e: None)
+        ev.fail(RuntimeError("x"))
+        with pytest.raises(RuntimeError, match="already triggered"):
+            ev.fail(RuntimeError("y"))
+
+    def test_allof_fails_on_first_child_failure(self):
+        sim = Simulator()
+
+        def ok(delay):
+            yield sim.timeout(delay)
+
+        def bad():
+            yield sim.timeout(2)
+            raise OSError("disk gone")
+
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.process(ok(1)), sim.process(bad()), sim.process(ok(5))])
+            except OSError as exc:
+                caught.append((sim.now, str(exc)))
+
+        sim.process(waiter())
+        sim.run()
+        assert caught == [(2.0, "disk gone")]
+
+    def test_allof_late_sibling_failure_is_ignored(self):
+        sim = Simulator()
+
+        def bad(delay, msg):
+            yield sim.timeout(delay)
+            raise OSError(msg)
+
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.process(bad(1, "first")), sim.process(bad(2, "second"))])
+            except OSError as exc:
+                caught.append(str(exc))
+            yield sim.timeout(5)  # outlive the second failure
+
+        sim.process(waiter())
+        sim.run()  # the second failure must not re-raise out of run()
+        assert caught == ["first"]
