@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Compare a fresh kernel-benchmark run against the committed baseline.
+
+Usage::
+
+    python scripts/check_perf_baseline.py FRESH.json [BASELINE.json]
+    python scripts/check_perf_baseline.py FRESH.json --tolerance 0.3
+
+Both files are ``repro.bench-result/v1`` envelopes as written by
+``benchmarks/bench_kernels.py`` (the committed baseline lives at the
+repo root as ``BENCH_kernels.json``).  Only the metrics each entry lists
+under its ``compare`` key participate — those are speedup *ratios*
+(fused vs naive on the same machine in the same run), which survive the
+2–4× absolute-throughput swings shared CI runners exhibit; raw
+microseconds and MB/s are carried for information only.
+
+Exit status: 0 when every compared metric is within ``--tolerance``
+(relative, default ±30 %) of the baseline, 1 otherwise, 2 on bad input.
+CI runs this in a ``continue-on-error`` job — a drift report is a
+prompt to look, not a merge blocker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "repro.bench-result/v1"
+
+
+def load_entries(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as fh:
+        envelope = json.load(fh)
+    if envelope.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: expected schema {SCHEMA!r}, got {envelope.get('schema')!r}")
+    return {entry["name"]: entry for entry in envelope["entries"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="bench-result JSON from the current run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="BENCH_kernels.json",
+        help="committed baseline (default: BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative drift per compared metric (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        fresh = load_entries(args.fresh)
+        base = load_entries(args.baseline)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load bench results: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for name, base_entry in sorted(base.items()):
+        compared = base_entry.get("compare") or {}
+        if not compared:
+            continue
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        for metric, base_value in sorted(compared.items()):
+            fresh_value = (fresh_entry.get("compare") or {}).get(metric)
+            if fresh_value is None:
+                failures.append(f"{name}.{metric}: missing from fresh run")
+                continue
+            checked += 1
+            drift = (fresh_value - base_value) / base_value
+            status = "ok" if abs(drift) <= args.tolerance else "DRIFT"
+            print(
+                f"{status:5s} {name}.{metric}: baseline {base_value:.3f} "
+                f"fresh {fresh_value:.3f} ({drift:+.1%})"
+            )
+            if status == "DRIFT":
+                failures.append(f"{name}.{metric}: {drift:+.1%} exceeds ±{args.tolerance:.0%}")
+
+    new_names = sorted(set(fresh) - set(base))
+    if new_names:
+        print(f"note: fresh entries not in baseline (uncompared): {', '.join(new_names)}")
+    if not checked and not failures:
+        print("no comparable metrics found in baseline", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} metric(s) outside tolerance:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} compared metric(s) within ±{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,7 @@ Usage::
     python -m repro list                 # what can be regenerated
     python -m repro fig13 fig14          # analytic figures (fast)
     python -m repro fig16 --requests 800 # simulation figures
+    python -m repro fig17 --jobs 4       # process-parallel campaign
     python -m repro table7 --k 8 6
     python -m repro all                  # the whole evaluation
     python -m repro fig16 stats          # ...plus the telemetry metrics table
@@ -48,6 +49,7 @@ from . import telemetry
 from .chaos import PROFILES
 from .experiments import (
     ExperimentConfig,
+    set_default_jobs,
     eta_landscape,
     lifetime,
     robustness,
@@ -195,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes per simulation campaign (default 1); every "
+            "job count produces byte-identical results and telemetry"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -333,6 +345,13 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        # one switch covers every simulation-backed experiment (and the
+        # chaos sweep): their compute() signatures stay parallelism-free
+        set_default_jobs(args.jobs)
 
         config = config_from_args(args)
         ks = tuple(args.k)

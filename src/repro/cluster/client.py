@@ -29,7 +29,7 @@ from typing import Generator, Hashable
 
 from ..chaos.faults import PartitionError
 from ..hybrid.plans import OpPlan
-from .events import Simulator
+from .events import Event, Simulator
 from .namenode import NameNode
 from .network import Cpu, Link
 from .node import DataNode
@@ -76,35 +76,86 @@ class PlanExecutor:
 
     def _read_path(self, node: DataNode, nbytes: float) -> Generator:
         yield from self._check_reachable(node)
-        yield from node.disk.read(nbytes)
-        yield from node.nic.transfer(nbytes)
+        yield node.disk.read_ev(nbytes)
+        yield node.nic.transfer_ev(nbytes)
 
     def _write_path(self, node: DataNode, nbytes: float) -> Generator:
         yield from self._check_reachable(node)
-        yield from node.nic.transfer(nbytes)
-        yield from node.disk.write(nbytes)
+        yield node.nic.transfer_ev(nbytes)
+        yield node.disk.write_ev(nbytes)
+
+    # Chaos-free fast path: the two-hop chunk pipelines chained through
+    # event callbacks, with no Process / generator / start event per chunk,
+    # and one shared counting barrier instead of per-chunk completion
+    # events.  Only usable when no chaos state is attached — reachability
+    # checks and partition waits need the generator machinery above.
+
+    def _fanout_ev(self, info, items, read: bool) -> Event:
+        """Barrier event for all chunk pipelines of one plan phase.
+
+        ``read=True`` runs disk → NIC per chunk; ``read=False`` NIC → disk.
+        Chunks issue in plan order (the same order the process-based path
+        starts them) and the barrier fires when the last chunk lands.
+        """
+        barrier = Event(self.sim)
+        remaining = [len(items)]
+
+        def _done(_ev):
+            remaining[0] -= 1
+            if not remaining[0]:
+                barrier.succeed()
+
+        nodes = self.nodes
+        for slot, nbytes in items:
+            node = nodes[info.placement[slot]]
+            if not node.alive:
+                raise DeadNodeError(node.node_id)
+            if read:
+
+                def _mid(_ev, node=node, nbytes=nbytes):
+                    node.nic.transfer_ev(nbytes).wait(_done)
+
+                node.disk.read_ev(nbytes).wait(_mid)
+            else:
+
+                def _mid(_ev, node=node, nbytes=nbytes):
+                    node.disk.write_ev(nbytes).wait(_done)
+
+                node.nic.transfer_ev(nbytes).wait(_mid)
+        return barrier
 
     def execute(self, plan: OpPlan, stripe: Hashable, cpu: Cpu, nic: Link) -> Generator:
         """Generator that performs one plan; yield it inside a process."""
         info = self.namenode.lookup(stripe)
+        fast = self.chaos is None  # chunk paths need no reachability machinery
         if plan.reads:
-            reads = [
-                self.sim.process(self._read_path(self.nodes[info.placement[slot]], nbytes))
-                for slot, nbytes in plan.reads.items()
-            ]
-            yield self.sim.all_of(reads)
+            if fast:
+                yield self._fanout_ev(info, plan.reads.items(), read=True)
+            else:
+                reads = [
+                    self.sim.process(
+                        self._read_path(self.nodes[info.placement[slot]], nbytes)
+                    )
+                    for slot, nbytes in plan.reads.items()
+                ]
+                yield self.sim.all_of(reads)
             if not plan.distributed:
-                yield from nic.transfer(plan.bytes_read)  # ingest at the coordinator
+                yield nic.transfer_ev(plan.bytes_read)  # ingest at the coordinator
         if plan.compute_ops:
-            yield from cpu.compute(plan.compute_ops)
+            yield cpu.compute_ev(plan.compute_ops)
         if plan.writes:
             if not plan.distributed:
-                yield from nic.transfer(plan.bytes_written)  # egress from the coordinator
-            writes = [
-                self.sim.process(self._write_path(self.nodes[info.placement[slot]], nbytes))
-                for slot, nbytes in plan.writes.items()
-            ]
-            yield self.sim.all_of(writes)
+                yield nic.transfer_ev(plan.bytes_written)  # egress from the coordinator
+            if fast:
+                yield self._fanout_ev(info, plan.writes.items(), read=False)
+            else:
+                writes = [
+                    self.sim.process(
+                        self._write_path(self.nodes[info.placement[slot]], nbytes)
+                    )
+                    for slot, nbytes in plan.writes.items()
+                ]
+                yield self.sim.all_of(writes)
 
     def run_plans(
         self, plans: list[OpPlan], stripe: Hashable, cpu: Cpu, nic: Link

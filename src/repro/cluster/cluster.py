@@ -377,10 +377,18 @@ def run_workload(
                 interval=chaos.invariant_interval,
             )
 
+    # Thresholds are non-decreasing, so a moving pointer replaces the full
+    # scan this function used to do after every completed request.
+    next_trigger = [0]
+
     def fire_due_triggers():
-        for j, threshold in enumerate(thresholds):
-            if progress["done"] >= threshold and not fail_triggers[j].triggered:
+        j = next_trigger[0]
+        done = progress["done"]
+        while j < len(thresholds) and done >= thresholds[j]:
+            if not fail_triggers[j].triggered:
                 fail_triggers[j].succeed()
+            j += 1
+        next_trigger[0] = j
 
     def report_unrecoverable(stripe, block, reason):
         """The loud channel: giving up on a chunk is an event, never silence."""

@@ -29,7 +29,9 @@ process that never resumes.
 
 from __future__ import annotations
 
+import gc
 import heapq
+from collections import deque
 from typing import Callable, Generator, Iterable
 
 from ..telemetry import METRICS
@@ -44,7 +46,7 @@ class Event:
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list[Callable[[Event], None]] = []
+        self.callbacks: list[Callable[[Event], None]] | None = []
         self.triggered = False
         self.value = None
         self.exc: BaseException | None = None
@@ -55,9 +57,14 @@ class Event:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.value = value
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        callbacks = self.callbacks
+        # Dropping the reference (rather than swapping in a fresh list)
+        # lets the fired list be collected and makes post-trigger
+        # registration go through :meth:`wait`'s triggered branch.
+        self.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -74,7 +81,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self.triggered = True
         self.exc = exc
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks, self.callbacks = self.callbacks, None
         if not callbacks:
             raise exc
         for cb in callbacks:
@@ -87,6 +94,10 @@ class Event:
             callback(self)
         else:
             self.callbacks.append(callback)
+
+    def succeed_cb(self, _fired: "Event") -> None:
+        """Callback adapter: succeed this event when another one fires."""
+        self.succeed()
 
 
 class Simulator:
@@ -104,6 +115,8 @@ class Simulator:
     >>> log
     [5.0]
     """
+
+    __slots__ = ("now", "_heap", "_seq", "_pending")
 
     def __init__(self):
         self.now = 0.0
@@ -129,7 +142,18 @@ class Simulator:
 
     def timeout(self, delay: float, daemon: bool = False) -> Event:
         """An event that fires after ``delay`` simulated seconds."""
-        return self.schedule(Event(self), delay, daemon=daemon)
+        # Inlined schedule(): this is the single most-called scheduling
+        # entry point, and the extra frame shows up in campaign profiles.
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self)
+        self._seq += 1
+        if not daemon:
+            self._pending += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, daemon, event))
+        if METRICS.enabled:
+            METRICS.gauge("sim.heap_depth", unit="events").set(len(self._heap))
+        return event
 
     def process(self, gen: Generator, daemon: bool = False) -> "Process":
         """Start a coroutine process; returns its completion event.
@@ -147,16 +171,30 @@ class Simulator:
     def run(self, until: float | None = None) -> None:
         """Execute events in time order until only daemon events remain
         in the heap (or the clock passes ``until``)."""
-        while self._heap and self._pending:
-            t, _, daemon, event = self._heap[0]
-            if until is not None and t > until:
-                break
-            heapq.heappop(self._heap)
-            if not daemon:
-                self._pending -= 1
-            self.now = t
-            if not event.triggered:
-                event.succeed(event.value)
+        # The loop is the single hottest function of a campaign; bind the
+        # heap and heappop locally and pause the cyclic GC (the engine
+        # allocates ~1M objects per campaign whose liveness GC passes keep
+        # re-scanning; nothing here creates cycles worth collecting
+        # mid-run).  Event order is untouched: same heap, same keys.
+        heap = self._heap
+        pop = heapq.heappop
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap and self._pending:
+                t = heap[0][0]
+                if until is not None and t > until:
+                    break
+                t, _, daemon, event = pop(heap)
+                if not daemon:
+                    self._pending -= 1
+                self.now = t
+                if not event.triggered:
+                    event.succeed(event.value)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and self.now < until:
             self.now = until
 
@@ -240,7 +278,7 @@ class FIFOResource:
         # over the class, so "disk3" and "disk7" share the "disk" series
         self.metric_key = name.rstrip("0123456789") or name
         self._busy = False
-        self._waiting: list[Event] = []
+        self._waiting: deque[Event] = deque()
         self.busy_time = 0.0
         self.served = 0
 
@@ -264,24 +302,62 @@ class FIFOResource:
         if not self._busy:
             raise RuntimeError(f"{self.name}: release without acquire")
         if self._waiting:
-            self.sim.schedule(self._waiting.pop(0), 0.0)
+            self.sim.schedule(self._waiting.popleft(), 0.0)
         else:
             self._busy = False
 
-    def use(self, duration: float) -> Generator:
-        """Generator helper: hold the resource for ``duration`` seconds."""
+    def _release_cb(self, _ev: Event) -> None:
+        self.release()
+
+    def use_ev(self, duration: float) -> Event:
+        """Event that fires once an acquire → hold → release cycle is done.
+
+        This is the flattened form of :meth:`use`: the acquire/hold chain
+        runs through event callbacks instead of a generator frame, which
+        removes one to two frame resumptions per resource hold on the
+        simulator's hottest path.  Timing, accounting, FIFO order and the
+        release-before-continuation ordering are identical to :meth:`use`.
+        """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        queued_at = self.sim.now
-        yield self.acquire()
-        self.busy_time += duration
-        self.served += 1
-        if METRICS.enabled:
-            key = self.metric_key
-            METRICS.histogram(f"sim.queue_wait.{key}", unit="s").observe(
-                self.sim.now - queued_at
-            )
-            METRICS.counter(f"sim.busy_time.{key}", unit="s").inc(duration)
-            METRICS.counter(f"sim.served.{key}", unit="requests").inc()
-        yield self.sim.timeout(duration)
-        self.release()
+        sim = self.sim
+        if not self._busy and not METRICS.enabled:
+            # Uncontended fast path: claim the server now and wait only for
+            # the hold itself.  ``acquire`` would flip ``_busy`` at this
+            # exact moment anyway and deliver the grant through a zero-delay
+            # heap event; completion lands at the identical timestamp, so
+            # skipping the grant event removes ~a third of all heap traffic
+            # without moving any latency.  (The metered path keeps the
+            # grant event so queue-wait histograms still observe zeros.)
+            self._busy = True
+            self.busy_time += duration
+            self.served += 1
+            done = sim.timeout(duration)
+            done.callbacks.append(self._release_cb)
+            return done
+        done = Event(sim)
+        queued_at = sim.now
+
+        def _finished(_ev: Event) -> None:
+            self.release()
+            done.succeed()
+
+        def _granted(_ev: Event) -> None:
+            self.busy_time += duration
+            self.served += 1
+            if METRICS.enabled:
+                key = self.metric_key
+                METRICS.histogram(f"sim.queue_wait.{key}", unit="s").observe(
+                    sim.now - queued_at
+                )
+                METRICS.counter(f"sim.busy_time.{key}", unit="s").inc(duration)
+                METRICS.counter(f"sim.served.{key}", unit="requests").inc()
+            hold = sim.timeout(duration)
+            hold.callbacks.append(_finished)
+
+        self.acquire().wait(_granted)
+        return done
+
+    def use(self, duration: float) -> Generator:
+        """Generator helper: hold the resource for ``duration`` seconds."""
+        yield self.use_ev(duration)

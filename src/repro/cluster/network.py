@@ -53,14 +53,18 @@ class Link(FIFOResource):
             t *= self.derate
         return t
 
-    def transfer(self, nbytes: float) -> Generator:
-        """Generator: occupy the link for one transfer."""
+    def transfer_ev(self, nbytes: float):
+        """Event flavour of :meth:`transfer` (the executor's hot path)."""
         self.bytes_moved += nbytes
         if METRICS.enabled:
             METRICS.counter(f"cluster.net.bytes.{self.metric_key}", unit="bytes").inc(
                 nbytes
             )
-        yield from self.use(self.transfer_time(nbytes))
+        return self.use_ev(self.transfer_time(nbytes))
+
+    def transfer(self, nbytes: float) -> Generator:
+        """Generator: occupy the link for one transfer."""
+        yield self.transfer_ev(nbytes)
 
 
 class Cpu(FIFOResource):
@@ -85,9 +89,13 @@ class Cpu(FIFOResource):
             t *= self.derate
         return t
 
-    def compute(self, ops: float) -> Generator:
-        """Generator: occupy the CPU for ``ops`` GF operations."""
+    def compute_ev(self, ops: float):
+        """Event flavour of :meth:`compute` (the executor's hot path)."""
         self.ops_done += ops
         if METRICS.enabled:
             METRICS.counter(f"cluster.cpu.ops.{self.metric_key}", unit="gf-ops").inc(ops)
-        yield from self.use(self.compute_time(ops))
+        return self.use_ev(self.compute_time(ops))
+
+    def compute(self, ops: float) -> Generator:
+        """Generator: occupy the CPU for ``ops`` GF operations."""
+        yield self.compute_ev(ops)

@@ -63,16 +63,24 @@ class Disk(FIFOResource):
             t *= self.derate
         return t
 
-    def read(self, nbytes: float) -> Generator:
-        """Generator: occupy the disk for one read."""
+    def read_ev(self, nbytes: float):
+        """Event flavour of :meth:`read` (the executor's hot path)."""
         self.bytes_read += nbytes
         if METRICS.enabled:
             METRICS.counter("cluster.disk.bytes_read", unit="bytes").inc(nbytes)
-        yield from self.use(self.access_time(nbytes))
+        return self.use_ev(self.access_time(nbytes))
 
-    def write(self, nbytes: float) -> Generator:
-        """Generator: occupy the disk for one write."""
+    def read(self, nbytes: float) -> Generator:
+        """Generator: occupy the disk for one read."""
+        yield self.read_ev(nbytes)
+
+    def write_ev(self, nbytes: float):
+        """Event flavour of :meth:`write` (the executor's hot path)."""
         self.bytes_written += nbytes
         if METRICS.enabled:
             METRICS.counter("cluster.disk.bytes_written", unit="bytes").inc(nbytes)
-        yield from self.use(self.access_time(nbytes))
+        return self.use_ev(self.access_time(nbytes))
+
+    def write(self, nbytes: float) -> Generator:
+        """Generator: occupy the disk for one write."""
+        yield self.write_ev(nbytes)

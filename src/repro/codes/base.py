@@ -26,7 +26,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..gf import GF, apply_to_blocks, inverse
+from ..gf import GF, CodingPlan, inverse
 from ..gf.matrix import independent_rows
 from ..telemetry import METRICS
 
@@ -244,7 +244,10 @@ class LinearVectorCode(ErasureCode):
         self.r = n - k
         self.subpacketization = l
         self.generator = generator
-        self._decode_cache: dict[frozenset[int], tuple[np.ndarray, list[int]]] = {}
+        # Encode applies the same parity rows for the lifetime of the code:
+        # compile them once (eagerly, so thread pools never race a lazy build).
+        self._parity_plan = CodingPlan(generator[k * l :], w=w)
+        self._decode_cache: dict[frozenset[int], tuple[CodingPlan, list[int]]] = {}
 
     # -- layout helpers ------------------------------------------------------
     def _to_symbols(self, blocks: np.ndarray) -> np.ndarray:
@@ -268,8 +271,7 @@ class LinearVectorCode(ErasureCode):
         data = self._check_data(data)
         l = self.subpacketization
         syms = self._to_symbols(data)
-        parity_rows = self.generator[self.k * l :]
-        parity_syms = apply_to_blocks(parity_rows, syms, w=self.w)
+        parity_syms = self._parity_plan.apply(syms)
         out = np.concatenate([syms, parity_syms], axis=0)
         if METRICS.enabled:
             key = self.telemetry_key
@@ -282,11 +284,13 @@ class LinearVectorCode(ErasureCode):
         return self._to_blocks(out, self.n)
 
     # -- decode ----------------------------------------------------------------
-    def _decode_plan(self, avail: frozenset[int]) -> tuple[np.ndarray, list[int]]:
-        """Return (solve_matrix, symbol_rows) for an erasure pattern.
+    def _decode_plan(self, avail: frozenset[int]) -> tuple[CodingPlan, list[int]]:
+        """Return (solve_plan, symbol_rows) for an erasure pattern.
 
-        ``solve_matrix`` (k*l × k*l) applied to the listed surviving symbol
-        rows yields the data symbols.  Cached per availability pattern.
+        ``solve_plan`` is the compiled (k*l × k*l) solve matrix; applied to
+        the listed surviving symbol rows it yields the data symbols.
+        Cached per availability pattern, so repeated decodes of one erasure
+        pattern pay inversion *and* plan compilation once.
         """
         plan = self._decode_cache.get(avail)
         if plan is not None:
@@ -303,7 +307,7 @@ class LinearVectorCode(ErasureCode):
             )
         chosen = chosen[:kl]
         solve_matrix = inverse(sub[chosen], w=self.w)
-        plan = (solve_matrix, [rows[c] for c in chosen])
+        plan = (CodingPlan(solve_matrix, w=self.w), [rows[c] for c in chosen])
         self._decode_cache[avail] = plan
         return plan
 
@@ -329,14 +333,14 @@ class LinearVectorCode(ErasureCode):
             raise ValueError(
                 f"block length {L} not a multiple of l={self.subpacketization}"
             )
-        solve_matrix, symbol_rows = self._decode_plan(avail)
+        solve_plan, symbol_rows = self._decode_plan(avail)
         l = self.subpacketization
         stacked = np.stack([shards[i] for i in sorted(avail)])
         syms = self._to_symbols(stacked)
         # map global symbol row -> position within the stacked survivor symbols
         order = {node: pos for pos, node in enumerate(sorted(avail))}
         local_rows = [order[row // l] * l + (row % l) for row in symbol_rows]
-        data_syms = apply_to_blocks(solve_matrix, syms[local_rows], w=self.w)
+        data_syms = solve_plan.apply(syms[local_rows])
         if METRICS.enabled:
             key = self.telemetry_key
             METRICS.counter(f"codes.{key}.decode_calls", unit="calls").inc()

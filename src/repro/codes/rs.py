@@ -20,7 +20,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..gf import systematic_rs_parity
+from ..gf import apply_to_blocks, systematic_rs_parity
 from ..telemetry import METRICS
 from .base import LinearVectorCode, ParameterError, RepairResult
 
@@ -65,13 +65,23 @@ class ReedSolomonCode(LinearVectorCode):
         return self.r
 
     def repair(self, failed: int, shards: Mapping[int, np.ndarray]) -> RepairResult:
-        """Rebuild one block by decoding from ``k`` survivors (full reads)."""
+        """Rebuild one block by decoding from ``k`` survivors (full reads).
+
+        Recovers the data via the cached decode plan, then re-derives only
+        the failed block — a lost parity needs one parity row, not the full
+        re-encode of all ``r`` parities.
+        """
         shards = self._check_shards(shards)
         if failed in shards:
             raise ValueError(f"node {failed} is present in the supplied shards")
         if METRICS.enabled:
             METRICS.counter("codes.rs.repair_calls", unit="calls").inc()
         helpers = sorted(shards)[: self.k]
-        full = self.decode({i: shards[i] for i in helpers})
+        data = self.decode_data({i: shards[i] for i in helpers})
+        if failed < self.k:
+            block = data[failed]
+        else:
+            row = self.parity_matrix[failed - self.k : failed - self.k + 1]
+            block = apply_to_blocks(row, data, w=self.w)[0]
         bytes_read = {i: shards[i].shape[0] for i in helpers}
-        return RepairResult(block=full[failed], bytes_read=bytes_read)
+        return RepairResult(block=block, bytes_read=bytes_read)

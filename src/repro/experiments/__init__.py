@@ -8,6 +8,7 @@
 from . import (
     eta_landscape,
     lifetime,
+    parallel,
     robustness,
     sensitivity,
     fig13_storage,
@@ -20,8 +21,9 @@ from . import (
     table4_allocation,
     table7_summary,
 )
+from .parallel import CampaignTask, campaign_tasks, run_campaign_tasks
 from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes, format_table
-from .simulation import CampaignResults, run_campaign
+from .simulation import CampaignResults, run_campaign, set_default_jobs
 
 __all__ = [
     "ExperimentConfig",
@@ -30,8 +32,13 @@ __all__ = [
     "SCHEME_ORDER",
     "CampaignResults",
     "run_campaign",
+    "set_default_jobs",
+    "CampaignTask",
+    "campaign_tasks",
+    "run_campaign_tasks",
     "eta_landscape",
     "lifetime",
+    "parallel",
     "robustness",
     "sensitivity",
     "fig13_storage",

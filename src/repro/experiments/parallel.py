@@ -1,0 +1,174 @@
+"""Process-parallel campaign execution with deterministic merging.
+
+A campaign is a bag of independent (scheme, trace) cells: every cell
+rebuilds its own workload trace, failure stream and planner state from
+the frozen :class:`~repro.experiments.runner.ExperimentConfig`, so cells
+can run in any order — or in different processes — and produce identical
+:class:`~repro.cluster.SimulationResult` objects.
+
+The contract this module enforces is *byte-identity with serial*: a
+campaign run with ``jobs=4`` must be indistinguishable from ``jobs=1``
+in every result, metric, trace event and snapshot series (wall-clock
+timer readings excepted — those measure the host, not the simulation).
+Two design rules make that hold structurally rather than by luck:
+
+1. **One code path.**  ``jobs=1`` does not take a legacy fast path; it
+   runs the same per-cell isolate → run → export machinery in-process
+   that a worker runs in its own process.  There is no "serial mode" to
+   drift out of sync.
+2. **Deterministic merge order.**  Telemetry is folded back strictly in
+   task-list order (trace-major, :data:`SCHEME_ORDER` within a trace),
+   never in completion order.  Counters and histogram buckets add, so
+   the fold is exact; gauges keep the last writer and the max
+   high-water, matching what sequential execution would have left.
+
+Workers inherit the parent's telemetry switches (enabled flags, trace
+capacity, snapshot interval) through the explicit ``flags`` payload —
+never through fork-time global state — so a ``--report`` campaign
+collects the same series under any job count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..cluster import SimulationResult, run_workload
+from ..telemetry import METRICS, SNAPSHOTS, TRACER
+from ..workloads import failures_for_trace, make_trace
+from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes
+
+__all__ = ["CampaignTask", "campaign_tasks", "run_campaign_tasks"]
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One independent campaign cell: a scheme replaying one trace."""
+
+    config: ExperimentConfig
+    trace_name: str
+    scheme_name: str
+
+
+def campaign_tasks(
+    config: ExperimentConfig, traces: list[str]
+) -> list[CampaignTask]:
+    """The campaign's cells in canonical (trace, scheme) merge order."""
+    return [
+        CampaignTask(config=config, trace_name=trace, scheme_name=scheme)
+        for trace in traces
+        for scheme in SCHEME_ORDER
+    ]
+
+
+# -- telemetry bookkeeping --------------------------------------------------
+
+
+def _telemetry_flags() -> dict:
+    """The parent's telemetry switches, shipped explicitly to workers."""
+    return {
+        "metrics": METRICS.enabled,
+        "tracing": TRACER.enabled,
+        "trace_capacity": TRACER.capacity,
+        "snapshots": SNAPSHOTS.enabled,
+        "snapshot_interval": SNAPSHOTS.interval,
+    }
+
+
+def _reset_telemetry(flags: dict) -> None:
+    """Clear all collectors and set their switches to ``flags``."""
+    METRICS.enabled = flags["metrics"]
+    METRICS.reset()
+    TRACER.enabled = flags["tracing"]
+    TRACER.capacity = flags["trace_capacity"]
+    TRACER.clear()
+    SNAPSHOTS.enabled = flags["snapshots"]
+    SNAPSHOTS.interval = flags["snapshot_interval"]
+    SNAPSHOTS.clear()
+
+
+def _export_telemetry() -> dict:
+    return {
+        "metrics": METRICS.export_state(),
+        "trace": TRACER.export_state(),
+        "snapshots": SNAPSHOTS.export_state(),
+    }
+
+
+def _merge_telemetry(state: dict) -> None:
+    METRICS.merge_state(state["metrics"])
+    TRACER.merge_state(state["trace"])
+    SNAPSHOTS.merge_state(state["snapshots"])
+
+
+# -- cell execution ---------------------------------------------------------
+
+
+def _run_cell(task: CampaignTask) -> SimulationResult:
+    """Build a cell's trace/failures/planner and replay the workload.
+
+    Scheme construction and trace generation emit no telemetry and are
+    deterministic functions of the config, so rebuilding them per cell
+    (rather than once per trace as the old serial loop did) changes
+    nothing observable.
+    """
+    cfg = task.config
+    trace = make_trace(
+        task.trace_name,
+        num_requests=cfg.num_requests,
+        num_stripes=cfg.num_stripes,
+        blocks_per_stripe=cfg.k,
+        write_once=True,  # §IV-A.5: each write request is a new HDFS file
+    )
+    failures = failures_for_trace(
+        trace,
+        blocks_per_stripe=cfg.k,
+        rate=cfg.failure_rate,
+        seed=cfg.seed,
+        num_stripes=cfg.num_stripes,
+        spatial_decay=cfg.spatial_decay,
+    )
+    scheme = build_schemes(cfg)[task.scheme_name]
+    return run_workload(scheme, trace, failures, cfg.cluster, chaos=cfg.chaos)
+
+
+def _isolated_cell(item: tuple[CampaignTask, dict]) -> tuple[SimulationResult, dict]:
+    """Run one cell against freshly reset telemetry; export what it emitted.
+
+    This is the single execution routine for both modes: the in-process
+    serial loop calls it directly, a pool worker calls it after pickling.
+    It must stay module-level so it is picklable.
+    """
+    task, flags = item
+    _reset_telemetry(flags)
+    result = _run_cell(task)
+    return result, _export_telemetry()
+
+
+def run_campaign_tasks(
+    tasks: list[CampaignTask], jobs: int = 1
+) -> list[SimulationResult]:
+    """Execute campaign cells, possibly across processes; merge telemetry.
+
+    Results come back aligned with ``tasks``; global telemetry ends up
+    exactly as if the cells had run sequentially in task order — whatever
+    the collectors held *before* the campaign is preserved underneath.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    flags = _telemetry_flags()
+    prior = _export_telemetry()  # pre-campaign accumulations to keep
+    items = [(task, flags) for task in tasks]
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            payloads = list(pool.map(_isolated_cell, items))
+    else:
+        payloads = [_isolated_cell(item) for item in items]
+    # Rebuild global telemetry deterministically: pre-existing state
+    # first, then every cell's share in task order (never completion
+    # order), so jobs=N and jobs=1 leave bit-identical collectors.
+    _reset_telemetry(flags)
+    _merge_telemetry(prior)
+    for _, state in payloads:
+        _merge_telemetry(state)
+    return [result for result, _ in payloads]

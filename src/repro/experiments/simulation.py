@@ -10,13 +10,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster import SimulationResult, run_workload
-from ..workloads import TRACE_NAMES, failures_for_trace, make_trace
-from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes
+from ..cluster import SimulationResult
+from ..workloads import TRACE_NAMES
+from .parallel import campaign_tasks, run_campaign_tasks
+from .runner import SCHEME_ORDER, ExperimentConfig
 
-__all__ = ["CampaignResults", "run_campaign"]
+__all__ = ["CampaignResults", "run_campaign", "set_default_jobs"]
 
 _CACHE: dict[tuple, "CampaignResults"] = {}
+
+#: Fan-out applied when ``run_campaign`` is called without ``jobs`` —
+#: the CLI's ``--jobs N`` sets this once so every experiment module
+#: (whose compute() signatures know nothing of parallelism) inherits it.
+_DEFAULT_JOBS = [1]
+
+
+def set_default_jobs(jobs: int) -> int:
+    """Set the process fan-out used when ``run_campaign`` gets no ``jobs``."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    _DEFAULT_JOBS[0] = jobs
+    return jobs
 
 
 @dataclass
@@ -40,36 +54,27 @@ def run_campaign(
     config: ExperimentConfig,
     traces: list[str] | None = None,
     use_cache: bool = True,
+    jobs: int | None = None,
 ) -> CampaignResults:
-    """Run (or fetch the memoised) full scheme×trace simulation campaign."""
+    """Run (or fetch the memoised) full scheme×trace simulation campaign.
+
+    ``jobs`` sets the process fan-out (default: the CLI-configured value,
+    initially 1).  Each (scheme, trace) cell is an independent task; the
+    results and all telemetry are merged deterministically, so any job
+    count produces byte-identical campaigns — the memo key therefore
+    deliberately ignores ``jobs``.
+    """
     traces = traces or TRACE_NAMES
     key = (config, tuple(traces))
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
-    results: dict[tuple[str, str], SimulationResult] = {}
-    for trace_name in traces:
-        trace = make_trace(
-            trace_name,
-            num_requests=config.num_requests,
-            num_stripes=config.num_stripes,
-            blocks_per_stripe=config.k,
-            write_once=True,  # §IV-A.5: each write request is a new HDFS file
-        )
-        failures = failures_for_trace(
-            trace,
-            blocks_per_stripe=config.k,
-            rate=config.failure_rate,
-            seed=config.seed,
-            num_stripes=config.num_stripes,
-            spatial_decay=config.spatial_decay,
-        )
-        schemes = build_schemes(config)  # fresh adaptive state per trace
-        for scheme_name in SCHEME_ORDER:
-            results[(scheme_name, trace_name)] = run_workload(
-                schemes[scheme_name], trace, failures, config.cluster,
-                chaos=config.chaos,
-            )
+    tasks = campaign_tasks(config, traces)
+    outcomes = run_campaign_tasks(tasks, jobs=_DEFAULT_JOBS[0] if jobs is None else jobs)
+    results: dict[tuple[str, str], SimulationResult] = {
+        (task.scheme_name, task.trace_name): result
+        for task, result in zip(tasks, outcomes)
+    }
     campaign = CampaignResults(config=config, results=results)
     if use_cache:
         _CACHE[key] = campaign

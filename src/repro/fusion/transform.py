@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..codes import MSRCode, ReedSolomonCode
-from ..gf import apply_to_blocks, cauchy, inverse, matmul
+from ..gf import CodingPlan, cauchy, inverse, matmul
 from ..telemetry import METRICS
 
 __all__ = [
@@ -158,6 +158,11 @@ class FusionTransformer:
         self.trans2 = [
             matmul(enc, np.kron(binv, eye_l), w=w) for binv in self._group_blocks_inv
         ]
+        # Conversions re-apply the same matrices stripe after stripe —
+        # compile each once so the hot path is pure fused-kernel execution.
+        self._group_plans = [CodingPlan(b, w=w) for b in self.group_blocks]
+        self._trans1_plans = [CodingPlan(t, w=w) for t in self.trans1]
+        self._trans2_plans = [CodingPlan(t, w=w) for t in self.trans2]
 
     # ------------------------------------------------------------------ helpers
     @property
@@ -197,7 +202,7 @@ class FusionTransformer:
             raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
         groups = self._pad_groups(data)
         return np.stack(
-            [apply_to_blocks(b, g, w=self._w) for b, g in zip(self.group_blocks, groups)]
+            [plan.apply(g) for plan, g in zip(self._group_plans, groups)]
         )
 
     # ------------------------------------------------------------- conversions
@@ -272,7 +277,7 @@ class FusionTransformer:
 
         inter: list[np.ndarray | None] = [None] * self.q
         for i in needed:
-            p_i = apply_to_blocks(self.group_blocks[i], groups[i], w=self._w)
+            p_i = self._group_plans[i].apply(groups[i])
             inter[i] = p_i
             cost.data_blocks_read += self.r
             cost.gf_ops += self.r * self.r * L
@@ -286,9 +291,7 @@ class FusionTransformer:
         out_groups = []
         for i in range(self.q):
             p_syms = self._syms(inter[i])
-            msr_par = self._blocks(
-                apply_to_blocks(self.trans2[i], p_syms, w=self._w), self.r
-            )
+            msr_par = self._blocks(self._trans2_plans[i].apply(p_syms), self.r)
             cost.gf_ops += self.trans2[i].size * (L / self.subpacketization)
             cost.blocks_written += self.r
             # Group q's data was derived, not read; materialise it for the
@@ -352,13 +355,13 @@ class FusionTransformer:
             if par.shape != (self.r, L):
                 raise ValueError(f"group {i} parity must be ({self.r}, {L})")
             if self._read_source(fault_hook, "parity", i):
-                p_syms = apply_to_blocks(self.trans1[i], self._syms(par), w=self._w)
+                p_syms = self._trans1_plans[i].apply(self._syms(par))
                 p_i = self._blocks(p_syms, self.r)
                 cost.parity_blocks_read += self.r
                 cost.gf_ops += self.trans1[i].size * (L / self.subpacketization)
             elif data_groups is not None and self._read_source(fault_hook, "data", i):
                 # failover: recompute p′_i = B_i·d_i from the group's data
-                p_i = apply_to_blocks(self.group_blocks[i], data_groups[i], w=self._w)
+                p_i = self._group_plans[i].apply(data_groups[i])
                 cost.data_blocks_read += self.r
                 cost.gf_ops += self.r * self.r * L
             else:

@@ -5,12 +5,17 @@ Public surface:
 * :class:`repro.gf.GF` — field object with vectorized element arithmetic;
 * :mod:`repro.gf.matrix` — linear algebra over GF(2^w) plus the
   block-encode kernel :func:`repro.gf.matrix.apply_to_blocks`;
+* :mod:`repro.gf.plan` — :class:`repro.gf.plan.CodingPlan`, the fused
+  precompiled form of ``apply_to_blocks`` (plus the kept naive reference
+  kernel :func:`repro.gf.plan.apply_to_blocks_naive`);
 * :mod:`repro.gf.polynomial` — polynomial eval/interpolation (RS oracle).
 """
 
 from .arithmetic import GF, gf_add, gf_div, gf_inv, gf_mul, gf_pow
 from .matrix import (
+    CodingPlan,
     apply_to_blocks,
+    apply_to_blocks_naive,
     cauchy,
     identity,
     inverse,
@@ -45,4 +50,6 @@ __all__ = [
     "cauchy",
     "systematic_rs_parity",
     "apply_to_blocks",
+    "apply_to_blocks_naive",
+    "CodingPlan",
 ]

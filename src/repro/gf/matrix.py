@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .arithmetic import GF
+from .plan import CodingPlan, apply_to_blocks_naive
 
 __all__ = [
     "matmul",
@@ -30,7 +31,15 @@ __all__ = [
     "cauchy",
     "systematic_rs_parity",
     "apply_to_blocks",
+    "apply_to_blocks_naive",
+    "CodingPlan",
 ]
+
+#: Above this many broadcast elements ``matmul`` switches from the
+#: O(m·k·n) broadcast intermediate to the memory-light fused kernel
+#: (one pass per distinct coefficient, O(k·n) peak memory).  The MSR
+#: constructions hit this for every k·l-sized generator assembly.
+_MATMUL_BROADCAST_LIMIT = 1 << 16
 
 
 def identity(n: int, w: int = 8) -> np.ndarray:
@@ -41,15 +50,28 @@ def identity(n: int, w: int = 8) -> np.ndarray:
 def matmul(a: np.ndarray, b: np.ndarray, w: int = 8) -> np.ndarray:
     """Matrix product over GF(2^w).
 
-    Implemented by broadcasting an element-wise product over the shared
-    axis and XOR-reducing, which vectorizes well for the small coefficient
-    matrices (≤ a few hundred rows) used by the codes here.
+    Shapes are validated *before* any arithmetic, so a 1-D operand (or a
+    shared-axis mismatch) always raises :class:`ValueError` — never a
+    broadcast ``MemoryError`` from an accidental O(m·k·n) intermediate.
+
+    Small products use a broadcast element-wise multiply + XOR-reduce;
+    products whose broadcast intermediate would exceed
+    ``_MATMUL_BROADCAST_LIMIT`` elements (the k·l-sized MSR generator
+    assemblies) run through the fused :class:`CodingPlan` kernel instead,
+    which peaks at O(k·n) memory and is byte-identical.
     """
     gf = GF.get(w)
     a = np.asarray(a)
     b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"GF matmul needs 2-D operands, got {a.ndim}-D @ {b.ndim}-D "
+            f"(shapes {a.shape} @ {b.shape})"
+        )
+    if a.shape[1] != b.shape[0]:
         raise ValueError(f"incompatible shapes for GF matmul: {a.shape} @ {b.shape}")
+    if a.shape[0] * a.shape[1] * b.shape[1] > _MATMUL_BROADCAST_LIMIT:
+        return CodingPlan(a, w=w).apply(np.ascontiguousarray(b, dtype=gf.dtype))
     # (m, k, 1) * (1, k, n) -> elementwise mul then XOR-reduce over k
     prod = gf.mul(a[:, :, None], b[None, :, :])
     return np.bitwise_xor.reduce(prod, axis=1).astype(gf.dtype, copy=False)
@@ -215,18 +237,16 @@ def apply_to_blocks(m: np.ndarray, blocks: np.ndarray, w: int = 8) -> np.ndarray
 
     Notes
     -----
-    This is the throughput-critical kernel: one vectorized scale-and-XOR per
-    nonzero coefficient, so cost is O(nnz(m) · block_len) byte operations
-    with no Python-level per-byte work.
+    This is the throughput-critical kernel.  It compiles the matrix into a
+    fused :class:`CodingPlan` and executes it: one table-gather + segmented
+    XOR-reduce per *distinct* nonzero coefficient instead of one gather per
+    matrix entry, byte-identical to :func:`apply_to_blocks_naive` (the kept
+    reference implementation).  Callers that apply the same matrix
+    repeatedly should compile a :class:`CodingPlan` once and reuse it.
     """
     gf = GF.get(w)
     m = np.asarray(m)
     blocks = np.ascontiguousarray(blocks, dtype=gf.dtype)
     if m.ndim != 2 or blocks.ndim != 2 or m.shape[1] != blocks.shape[0]:
         raise ValueError(f"incompatible shapes: {m.shape} applied to {blocks.shape}")
-    out = np.zeros((m.shape[0], blocks.shape[1]), dtype=gf.dtype)
-    for i in range(m.shape[0]):
-        row = m[i]
-        for j in np.nonzero(row)[0]:
-            gf.scale_xor_into(out[i], int(row[j]), blocks[j])
-    return out
+    return CodingPlan(m, w=w).apply(blocks)

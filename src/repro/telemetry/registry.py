@@ -284,6 +284,75 @@ class MetricsRegistry:
         hist = self.histogram(name, unit=unit, buckets=buckets) if self.enabled else None
         return Timer(hist, clock=clock)
 
+    # -- state transfer ----------------------------------------------------
+    def export_state(self) -> dict[str, dict]:
+        """Full-fidelity state of every metric, keyed by name.
+
+        Unlike :meth:`snapshot` (a human-oriented view with derived
+        percentiles), the exported state carries everything needed to
+        reconstruct each metric exactly — histogram bucket counts
+        included — so a worker process can ship its registry back to the
+        parent and :meth:`merge_state` can fold it in losslessly.
+        """
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"kind": "counter", "unit": metric.unit, "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {
+                    "kind": "gauge",
+                    "unit": metric.unit,
+                    "value": metric.value,
+                    "high_water": metric.high_water,
+                }
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "unit": metric.unit,
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                }
+        return out
+
+    def merge_state(self, state: dict[str, dict]) -> None:
+        """Fold an :meth:`export_state` payload into this registry in place.
+
+        Counters and histograms add; gauges take the incoming value (the
+        payload is the *later* writer) and keep the max high-water mark.
+        Metrics unseen here are created; existing objects are mutated in
+        place so call sites holding direct references stay live.
+        """
+        for name in sorted(state):
+            data = state[name]
+            kind = data["kind"]
+            if kind == "counter":
+                metric = self._fetch(name, Counter, unit=data["unit"])
+                metric.value += data["value"]
+            elif kind == "gauge":
+                metric = self._fetch(name, Gauge, unit=data["unit"])
+                metric.value = data["value"]
+                if data["high_water"] > metric.high_water:
+                    metric.high_water = data["high_water"]
+            elif kind == "histogram":
+                metric = self._fetch(name, Histogram, unit=data["unit"], buckets=data["bounds"])
+                if list(metric.bounds) != list(data["bounds"]):
+                    raise ValueError(f"histogram {name!r} bucket bounds differ")
+                for i, c in enumerate(data["counts"]):
+                    metric.counts[i] += c
+                metric.count += data["count"]
+                metric.total += data["total"]
+                if data["min"] < metric.min:
+                    metric.min = data["min"]
+                if data["max"] > metric.max:
+                    metric.max = data["max"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
     # -- queries -----------------------------------------------------------
     def get(self, name: str) -> Counter | Gauge | Histogram | None:
         """The metric called ``name``, or None if never recorded."""

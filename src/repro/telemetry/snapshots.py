@@ -165,6 +165,19 @@ class SnapshotCollector:
         SnapshotSampler(series, probes, interval or self.interval).attach(sim)
         return series
 
+    # -- state transfer ----------------------------------------------------
+    def export_state(self) -> list[dict]:
+        """Pickle-friendly payload of every recorded series (see merge)."""
+        return self.to_dict()
+
+    def merge_state(self, state: list[dict]) -> None:
+        """Append the series of an :meth:`export_state` payload, in order."""
+        for data in state:
+            series = SnapshotSeries(data["label"], list(data["fields"]))
+            for i, ts in enumerate(data["ts"]):
+                series.append(ts, {f: data["series"][f][i] for f in data["fields"]})
+            self.series.append(series)
+
     # -- queries -----------------------------------------------------------
     def get(self, label: str) -> SnapshotSeries | None:
         """The most recent series with this label, or None."""

@@ -93,6 +93,23 @@ class TraceRecorder:
             return
         self.events.append(TraceEvent(ts=ts, kind=kind, fields=fields))
 
+    # -- state transfer ----------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON/pickle-friendly payload of the whole buffer (see merge)."""
+        return {
+            "events": [(ev.ts, ev.kind, dict(ev.fields)) for ev in self.events],
+            "dropped": self.dropped,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Append an :meth:`export_state` payload, respecting capacity."""
+        for ts, kind, fields in state["events"]:
+            if self.capacity is not None and len(self.events) >= self.capacity:
+                self.dropped += 1
+                continue
+            self.events.append(TraceEvent(ts=ts, kind=kind, fields=fields))
+        self.dropped += state["dropped"]
+
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)

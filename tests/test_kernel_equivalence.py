@@ -1,0 +1,184 @@
+"""Fused GF kernels vs their kept naive references.
+
+The hot-path pass replaced three kernels with fused implementations and
+deliberately kept each original as an executable specification:
+
+* :func:`repro.gf.apply_to_blocks` / :class:`CodingPlan` vs
+  :func:`apply_to_blocks_naive` (the triple loop);
+* the plan's two dispatch paths (single-gather for tiny blocks,
+  per-coefficient-group translate for large ones) vs each other;
+* MSR repair's kernel ladder ``_repair_coupled_naive`` (plane-looped) →
+  ``_repair_coupled_batched`` (vectorized) → ``_repair_coupled_fused``
+  (one precompiled plan) — all three must agree bit-for-bit for every
+  single-erasure pattern.
+
+This file is the property net under the perf work: any future "faster"
+kernel must keep these green.  Block lengths are chosen odd (and odd
+multiples of the subpacketization) so shape edge cases stay covered, and
+column counts straddle the gather-dispatch threshold so both plan paths
+run.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    EvenOddCode,
+    HitchhikerCode,
+    LocalReconstructionCode,
+    MSRCode,
+    ProductCode,
+    RDPCode,
+    ReedSolomonCode,
+)
+from repro.gf import GF, CodingPlan, apply_to_blocks, apply_to_blocks_naive, matmul
+from repro.gf.arithmetic import GF as GFClass
+from repro.gf.tables import get_tables
+
+
+def all_codes():
+    return [
+        ReedSolomonCode(6, 3),
+        ReedSolomonCode(4, 2),
+        MSRCode(4, 2, verify="off"),
+        MSRCode(6, 3, verify="off"),
+        LocalReconstructionCode(6, 2, 2),
+        LocalReconstructionCode(8, 2, 2, layout="interleaved"),
+        EvenOddCode(5),
+        RDPCode(5),
+        HitchhikerCode(6, 3),
+        ProductCode(2, 1, 2, 1),
+    ]
+
+
+CODES = all_codes()
+CODE_IDS = [c.name for c in CODES]
+
+#: column counts on both sides of the plan's gather-dispatch threshold
+#: (nnz * ncols <= 1 << 13 gathers; larger runs the grouped translate
+#: path) — all odd, so no kernel can lean on even/aligned lengths
+SMALL_COLS = 7
+LARGE_COLS = 4097
+
+
+@pytest.mark.parametrize("ncols", [1, SMALL_COLS, 257, LARGE_COLS])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_plan_matches_naive_on_random_matrices(seed, ncols):
+    rng = np.random.default_rng(seed)
+    rows, cols = rng.integers(1, 12, size=2)
+    m = rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+    m[rng.random(m.shape) < 0.3] = 0  # sparse rows exercise group pruning
+    blocks = rng.integers(0, 256, (cols, ncols), dtype=np.uint8)
+    plan = CodingPlan(m, w=8)
+    expect = apply_to_blocks_naive(m, blocks)
+    assert np.array_equal(plan.apply(blocks), expect)
+    assert np.array_equal(apply_to_blocks(m, blocks), expect)
+
+
+def test_plan_gather_and_group_paths_agree():
+    """The same plan must answer identically on both sides of the dispatch."""
+    rng = np.random.default_rng(7)
+    m = rng.integers(0, 256, (5, 9), dtype=np.uint8)
+    plan = CodingPlan(m, w=8)
+    for ncols in (1, SMALL_COLS, LARGE_COLS):  # gather, gather, grouped
+        blocks = rng.integers(0, 256, (9, ncols), dtype=np.uint8)
+        assert np.array_equal(plan.apply(blocks), apply_to_blocks_naive(m, blocks))
+
+
+def test_plan_zero_matrix_and_zero_rows():
+    m = np.zeros((4, 6), dtype=np.uint8)
+    blocks = np.arange(6 * SMALL_COLS, dtype=np.uint8).reshape(6, SMALL_COLS)
+    assert np.array_equal(CodingPlan(m, w=8).apply(blocks), np.zeros((4, SMALL_COLS), np.uint8))
+    m[1, 3] = 5  # one live row among dead ones: scatter path, not passthrough
+    assert np.array_equal(
+        CodingPlan(m, w=8).apply(blocks), apply_to_blocks_naive(m, blocks)
+    )
+
+
+@pytest.mark.parametrize("code", CODES, ids=CODE_IDS)
+def test_encode_decode_equivalence_odd_lengths(code):
+    """Every code round-trips odd block lengths through the fused kernels."""
+    rng = np.random.default_rng(11)
+    L = code.subpacketization * 3  # odd multiple of l
+    data = rng.integers(0, 256, (code.k, L), dtype=np.uint8)
+    coded = code.encode(data)
+    if hasattr(code, "parity_matrix"):
+        assert np.array_equal(
+            coded[code.k :], apply_to_blocks_naive(code.parity_matrix, data)
+        )
+    for lost in range(code.n):  # every single-erasure pattern
+        shards = {i: coded[i] for i in range(code.n) if i != lost}
+        rebuilt = code.repair(lost, shards).block
+        assert np.array_equal(rebuilt, coded[lost]), f"{code.name}: erasure {lost}"
+
+
+@pytest.mark.parametrize("nr", [(4, 2), (6, 3), (8, 4)])
+def test_msr_repair_kernel_ladder(nr):
+    """naive == batched == fused for every failed node, odd block length."""
+    n, r = nr
+    code = MSRCode(n, r, verify="off")
+    l = code.subpacketization
+    rng = np.random.default_rng(13)
+    sub = 5  # odd per-plane width
+    data = rng.integers(0, 256, (code.k, l * sub), dtype=np.uint8)
+    coded = code.encode(data)
+    for failed in range(code.n):
+        view = {
+            i: coded[i].reshape(l, sub) for i in range(code.n) if i != failed
+        }
+        naive = code._repair_coupled_naive(failed, view)
+        batched = code._repair_coupled_batched(failed, view)
+        fused = code._repair_coupled_fused(failed, view)
+        assert np.array_equal(naive, batched), f"batched diverged at node {failed}"
+        assert np.array_equal(naive, fused), f"fused diverged at node {failed}"
+        assert np.array_equal(fused.reshape(-1), coded[failed])
+
+
+def test_matmul_rejects_1d_inputs():
+    """Regression: 1-D operands used to broadcast into garbage shapes."""
+    gf = GF.get(8)
+    a = np.array([1, 2, 3], dtype=np.uint8)
+    b = np.eye(3, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        matmul(a, b, w=8)
+    with pytest.raises(ValueError):
+        matmul(b, a, w=8)
+    del gf
+
+
+def test_mul_table_concurrent_first_build():
+    """Regression: the lazy mul/translate tables race under threads.
+
+    A fresh (non-singleton) field instance starts with no tables; many
+    threads building them concurrently must all observe the same arrays
+    and identical scaling results.
+    """
+    results = []
+    errors = []
+    gf = GFClass(get_tables(8))
+    barrier = threading.Barrier(8)
+
+    def _worker(coeff):
+        try:
+            barrier.wait()
+            table = gf.mul_table()
+            trans = gf.scale_translation(coeff)
+            results.append((coeff, table, trans))
+        except Exception as exc:  # pragma: no cover - the failure we guard
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_worker, args=(c,)) for c in range(1, 9)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(results) == 8
+    first_table = results[0][1]
+    for coeff, table, trans in results:
+        assert table is first_table  # one shared publication, no duplicates
+        expect = bytes(int(gf.mul(coeff, x)) for x in range(256))
+        assert trans == expect
+    assert not first_table.flags.writeable
