@@ -1,0 +1,140 @@
+"""Check markdown links and anchors across docs/ and the README.
+
+Run from the repo root::
+
+    python scripts/check_doc_links.py            # exit 1 on broken links
+    python scripts/check_doc_links.py --verbose  # list every checked link
+
+Validates every inline markdown link in the repo's documentation set:
+
+* **relative file links** (``[x](docs/chaos.md)``, ``[y](../README.md)``)
+  must resolve to a file that exists, relative to the linking document;
+* **anchor links** (``[z](#fault-model)``, ``[w](chaos.md#profiles)``)
+  must name a heading in the target document, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to dashes, ``-N`` suffixes
+  for duplicates);
+* **bare repo paths in backticks** next to a link are not checked — only
+  actual ``[text](target)`` links are;
+* ``http(s)://`` and ``mailto:`` links are skipped (no network in CI).
+
+CI runs this as the ``doc-links`` job; ``tests/test_doc_links.py`` runs
+the same check in tier-1 so a broken cross-reference fails fast locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: the documentation set: README + everything under docs/
+DOC_GLOBS = ["README.md", "docs/*.md"]
+
+#: [text](target) — excluding images handled identically and
+#: reference-style definitions, which the repo's docs don't use
+LINK_RE = re.compile(r"!?\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug: strip markup/punctuation, dash-join, dedupe."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep label
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    slug = re.sub(r" ", "-", text)
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def collect_anchors(path: Path) -> set[str]:
+    """Every heading anchor a document exposes (code fences excluded)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_link(doc: Path, target: str, anchor_cache: dict[Path, set[str]]):
+    """Return an error string for a broken link, or None."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return None
+    base, _, fragment = target.partition("#")
+    if base:
+        resolved = (doc.parent / base).resolve()
+        if not resolved.exists():
+            return f"missing file {base!r}"
+    else:
+        resolved = doc.resolve()
+    if fragment:
+        if resolved.suffix != ".md":
+            return None  # anchors into non-markdown files are not ours to judge
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = collect_anchors(resolved)
+        if fragment.lower() not in anchor_cache[resolved]:
+            where = base or "this document"
+            return f"missing anchor #{fragment} in {where}"
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true", help="list every link")
+    args = parser.parse_args(argv)
+
+    docs = sorted(p for g in DOC_GLOBS for p in ROOT.glob(g))
+    if not docs:
+        print("no documentation files found — wrong working directory?")
+        return 1
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    checked = 0
+    for doc in docs:
+        for lineno, target in iter_links(doc):
+            checked += 1
+            error = check_link(doc, target, anchor_cache)
+            rel = doc.relative_to(ROOT)
+            if error:
+                errors.append(f"{rel}:{lineno}: {error} (link target {target!r})")
+            elif args.verbose:
+                print(f"ok  {rel}:{lineno}: {target}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {checked} links across {len(docs)} documents: "
+        + ("all good" if not errors else f"{len(errors)} broken")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

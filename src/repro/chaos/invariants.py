@@ -64,6 +64,10 @@ class InvariantReport:
     checks: int = 0
     stripes_checked: int = 0
     violations: list[InvariantViolation] = field(default_factory=list)
+    #: stripes observed with erasures whose repair was *queued but not yet
+    #: dispatched* by the recovery scheduler — the erasure window is open
+    #: even though no pipeline has started (dicts: stripe/time/queue_depth)
+    at_risk: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -82,6 +86,7 @@ class InvariantReport:
                 }
                 for v in self.violations
             ],
+            "at_risk": [dict(entry) for entry in self.at_risk],
         }
 
 
@@ -105,6 +110,12 @@ class InvariantChecker:
         channel that makes beyond-tolerance loss legal.
     interval:
         Sim-seconds between sweeps when attached as a daemon.
+    scheduler:
+        The cluster's :class:`~repro.cluster.RecoveryScheduler` (or
+        ``None``).  With a scheduler bound, the durability sweep also
+        flags stripes whose repair is *queued but unscheduled* as
+        at-risk — the stripe's erasure window is open from the moment the
+        chunk is lost, not from the moment its pipeline starts.
     """
 
     def __init__(
@@ -115,6 +126,7 @@ class InvariantChecker:
         failed_blocks: set | None = None,
         unrecoverable: list | None = None,
         interval: float = 5.0,
+        scheduler=None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -124,7 +136,9 @@ class InvariantChecker:
         self.failed_blocks = failed_blocks if failed_blocks is not None else set()
         self.unrecoverable = unrecoverable if unrecoverable is not None else []
         self.interval = interval
+        self.scheduler = scheduler
         self.report = InvariantReport()
+        self._flagged_at_risk: set = set()
 
     # -- plumbing -----------------------------------------------------------
     def _violate(self, invariant: str, stripe, detail: str) -> None:
@@ -170,6 +184,40 @@ class InvariantChecker:
                     f"{len(lost)} erasures (slots {sorted(lost)}) exceed "
                     f"tolerance {tolerance} and the stripe was never reported "
                     f"unrecoverable",
+                )
+        self._sweep_at_risk()
+
+    def _sweep_at_risk(self) -> None:
+        """Flag stripes with erased chunks whose repair is still queued.
+
+        A stripe is exposed from the moment a chunk is lost — not from
+        the moment its repair pipeline starts.  With a scheduler bound,
+        any job sitting in the admission queue marks its stripe at-risk
+        (once per stripe, first observation wins); this is reporting, not
+        a violation — the window only becomes a durability violation when
+        erasures exceed tolerance.
+        """
+        if self.scheduler is None:
+            return
+        for job in self.scheduler.pending_jobs():
+            if job.stripe in self._flagged_at_risk:
+                continue
+            self._flagged_at_risk.add(job.stripe)
+            entry = {
+                "stripe": str(job.stripe),
+                "time": self.cluster.sim.now,
+                "queue_depth": self.scheduler.queue_depth,
+            }
+            self.report.at_risk.append(entry)
+            if METRICS.enabled:
+                METRICS.counter("chaos.invariant.at_risk", unit="stripes").inc()
+            if TRACER.enabled:
+                TRACER.emit(
+                    "stripe-at-risk",
+                    ts=self.cluster.sim.now,
+                    stripe=job.stripe,
+                    block=job.block,
+                    queue_depth=self.scheduler.queue_depth,
                 )
 
     def check_metadata(self) -> None:

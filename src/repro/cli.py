@@ -61,6 +61,7 @@ from .experiments import (
     fig17_recovery,
     fig18_overall,
     fig19_cost_effective,
+    fig_pipeline_repair,
     table4_allocation,
     table7_summary,
 )
@@ -90,6 +91,10 @@ def _run_fig17(config: ExperimentConfig, ks) -> str:
 
 def _run_fig18(config: ExperimentConfig, ks) -> str:
     return fig18_overall.render(fig18_overall.compute(config))
+
+
+def _run_pipeline(config: ExperimentConfig, ks) -> str:
+    return fig_pipeline_repair.render(fig_pipeline_repair.compute(config))
 
 
 def _run_fig19(config: ExperimentConfig, ks) -> str:
@@ -144,6 +149,7 @@ EXPERIMENTS = {
     "fig17": (_run_fig17, "recovery performance (simulation)", True),
     "fig18": (_run_fig18, "overall performance (simulation)", True),
     "fig19": (_run_fig19, "cost-effective ratio (simulation)", True),
+    "pipeline": (_run_pipeline, "pipelined vs conventional repair (simulation)", True),
     "eta": (_run_eta, "η threshold landscape over (λ, α) (analytic extension)", False),
     "lifetime": (_run_lifetime, "bathtub-curve adaptation + idle-expiry extension", True),
     "sensitivity": (_run_sensitivity, "EC-Fusion gain vs RS across failure weights", True),
@@ -197,6 +203,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pipeline-chunk",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help=(
+            "stream repairs as hop-by-hop chunk pipelines with this chunk "
+            "size in MiB (enables the risk-ordered recovery scheduler)"
+        ),
+    )
+    parser.add_argument(
+        "--repair-scheduler",
+        action="store_true",
+        help=(
+            "batch repairs through the risk-ordered recovery scheduler "
+            "without pipelining (implied by --pipeline-chunk)"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -235,7 +259,17 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if args.seed is not None:
         overrides["seed"] = args.seed
     overrides.update(_chaos_overrides(args))
+    overrides.update(_pipeline_overrides(args))
     return ExperimentConfig(**overrides)
+
+
+def _pipeline_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if args.pipeline_chunk is not None:
+        overrides["pipeline_chunk"] = args.pipeline_chunk * 1024 * 1024
+    if args.repair_scheduler:
+        overrides["repair_scheduler"] = True
+    return overrides
 
 
 def _chaos_overrides(args: argparse.Namespace) -> dict:
@@ -260,6 +294,7 @@ def _stats_fallback_config(args: argparse.Namespace) -> ExperimentConfig:
     if args.seed is not None:
         overrides["seed"] = args.seed
     overrides.update(_chaos_overrides(args))
+    overrides.update(_pipeline_overrides(args))
     return ExperimentConfig(**overrides)
 
 

@@ -4,6 +4,9 @@ Replaces the paper's Hadoop testbed: a discrete-event simulation of data
 nodes (disk + NIC + CPU FIFO resources), a namenode, an application client
 and a recovery manager.  :func:`repro.cluster.run_workload` replays a
 trace + failure stream against any :class:`repro.hybrid.SchemePlanner`.
+Reconstruction can run conventionally (pull every helper read into one
+node) or as chunked hop-by-hop pipelines (:mod:`repro.cluster.pipeline`)
+admitted by a risk-ordered :class:`RecoveryScheduler`.
 """
 
 from .client import Client, DeadNodeError, PlanExecutor
@@ -12,7 +15,8 @@ from .events import AllOf, Event, FIFOResource, Process, Simulator
 from .namenode import NameNode, StripeInfo
 from .network import Cpu, Link
 from .node import DataNode
-from .recovery import RecoveryError, RecoveryManager
+from .pipeline import DEFAULT_CHUNK, execute_pipelined, pipeline_slices
+from .recovery import RecoveryError, RecoveryManager, RecoveryScheduler, RepairJob
 from .simdisk import Disk
 
 __all__ = [
@@ -32,6 +36,11 @@ __all__ = [
     "PlanExecutor",
     "Client",
     "RecoveryManager",
+    "RecoveryScheduler",
+    "RepairJob",
+    "DEFAULT_CHUNK",
+    "pipeline_slices",
+    "execute_pipelined",
     "Cluster",
     "ClusterConfig",
     "SimulationResult",

@@ -61,8 +61,13 @@ class PlanExecutor:
         #: optional :class:`~repro.chaos.ChaosState`; None = chaos-free run
         self.chaos = None
 
-    def _check_reachable(self, node: DataNode) -> Generator:
-        """Fail fast on dead nodes; time out (or outwait) partitions."""
+    def check_reachable(self, node: DataNode) -> Generator:
+        """Fail fast on dead nodes; time out (or outwait) partitions.
+
+        Public because the pipelined repair engine
+        (:mod:`repro.cluster.pipeline`) runs the same reachability
+        protocol at every hop of a chunk pipeline.
+        """
         if not node.alive:
             raise DeadNodeError(node.node_id)
         chaos = self.chaos
@@ -73,6 +78,9 @@ class PlanExecutor:
                 raise PartitionError(node.node_id)
             if not node.alive:  # died while we waited out the partition
                 raise DeadNodeError(node.node_id)
+
+    # historical (pre-pipeline) spelling, kept for callers in the wild
+    _check_reachable = check_reachable
 
     def _read_path(self, node: DataNode, nbytes: float) -> Generator:
         yield from self._check_reachable(node)

@@ -25,7 +25,7 @@ from .client import Client, DeadNodeError, PlanExecutor
 from .events import Event, Simulator
 from .namenode import NameNode
 from .node import DataNode
-from .recovery import RecoveryError, RecoveryManager
+from .recovery import RecoveryError, RecoveryManager, RecoveryScheduler
 
 __all__ = ["ClusterConfig", "SimulationResult", "Cluster", "run_workload"]
 
@@ -57,6 +57,18 @@ class ClusterConfig:
     racks: int = 1
     #: bytes/s cap shared by all background recovery traffic (None = unthrottled)
     recovery_bandwidth_cap: float | None = None
+    #: pipelined (ECPipe-style) repair: chunk size in bytes; None keeps the
+    #: conventional pull-everything reconstruction (bit-identical to seed)
+    pipeline_chunk: float | None = None
+    #: run repairs through the :class:`RecoveryScheduler` even without
+    #: pipelining (risk-ordered batching + concurrency caps + ride-along)
+    repair_scheduler: bool = False
+    #: concurrent running repairs allowed to touch any one data node
+    max_repairs_per_node: int = 2
+    #: concurrent running repairs per rack (None = uncapped)
+    max_repairs_per_rack: int | None = None
+    #: global ceiling on simultaneously running repairs (None = uncapped)
+    max_concurrent_repairs: int | None = None
 
 
 @dataclass
@@ -79,6 +91,9 @@ class SimulationResult:
     storage_overhead: float = 0.0
     sim_time: float = 0.0
     degraded_reads: int = 0
+    #: degraded reads served by riding an in-flight repair job instead of
+    #: triggering their own reconstruction (scheduler runs only)
+    piggybacked_reads: int = 0
     #: requests that failed outright under chaos (dead/partitioned nodes)
     failed_requests: int = 0
     #: chunks the cluster *gave up* repairing — each a dict with
@@ -88,6 +103,9 @@ class SimulationResult:
     invariant_checks: int = 0
     #: broken invariants, as dicts (time/invariant/stripe/detail)
     invariant_violations: list = field(default_factory=list)
+    #: stripes flagged at-risk while their repair sat queued-but-unscheduled
+    #: (dicts: stripe/time/queue_depth; scheduler + invariant runs only)
+    at_risk_stripes: list = field(default_factory=list)
     #: chaos campaign summary (injected-fault counts etc.); None = no chaos
     chaos: dict | None = None
 
@@ -191,8 +209,22 @@ class Cluster:
             net_latency=config.net_latency,
         )
         self.recovery = RecoveryManager(
-            self.executor, bandwidth_cap=config.recovery_bandwidth_cap
+            self.executor,
+            bandwidth_cap=config.recovery_bandwidth_cap,
+            pipeline_chunk=config.pipeline_chunk,
         )
+        #: risk-ordered repair admission; None = dispatch-on-arrival (seed
+        #: behaviour).  Pipelining implies the scheduler: a storm of
+        #: unthrottled pipelines would otherwise collide on the helpers.
+        self.scheduler: RecoveryScheduler | None = None
+        if config.repair_scheduler or config.pipeline_chunk is not None:
+            self.scheduler = RecoveryScheduler(
+                self.recovery,
+                self.namenode,
+                max_per_node=config.max_repairs_per_node,
+                max_per_rack=config.max_repairs_per_rack,
+                max_total=config.max_concurrent_repairs,
+            )
 
     # -- statistics --------------------------------------------------------
     def utilization(self) -> dict[str, float]:
@@ -286,6 +318,11 @@ def _attach_snapshots(cluster, scheme, trace, failed_blocks, result):
         **queue_probes("queue1"),
         **queue_probes("queue2"),
         "degraded_outstanding": lambda: float(len(failed_blocks)),
+        "repair_queue_depth": (
+            (lambda: float(cluster.scheduler.queue_depth))
+            if cluster.scheduler is not None
+            else (lambda: 0.0)
+        ),
         "recoveries_done": lambda: float(len(result.recovery_latencies)),
         "nic_in_flight": lambda: float(sum(n.nic.queue_depth for n in cluster.nodes)),
         "disk_in_flight": lambda: float(sum(n.disk.queue_depth for n in cluster.nodes)),
@@ -350,6 +387,8 @@ def run_workload(
         thresholds = []
     progress = {"done": 0}
     failed_blocks: set[tuple] = set()  # chunks lost but not yet rebuilt
+    if cluster.scheduler is not None:
+        cluster.scheduler.failed_blocks = failed_blocks  # risk = erasure count
     sim_clock = lambda: sim.now  # noqa: E731 - Timer clock for sim-time spans
     if SNAPSHOTS.enabled:
         _attach_snapshots(cluster, scheme, trace, failed_blocks, result)
@@ -375,6 +414,7 @@ def run_workload(
                 failed_blocks=failed_blocks,
                 unrecoverable=result.unrecoverable,
                 interval=chaos.invariant_interval,
+                scheduler=cluster.scheduler,
             )
 
     # Thresholds are non-decreasing, so a moving pointer replaces the full
@@ -416,6 +456,47 @@ def run_workload(
                 chaos_state.end_conversion(stripe, cluster.namenode, committed=committed)
         _record_conversion(result, scheme, stripe, plans, t.elapsed, sim.now)
 
+    def ride_repair(req):
+        """Serve a degraded read by joining the repair already in flight.
+
+        Returns True when a queued/running repair job covered the chunk
+        (the read waits for the repair to land, then reads normally —
+        no duplicate reconstruction); False when no such job exists and
+        the caller should plan its own degraded read.  If the ridden job
+        *gives up*, the read falls back to reconstructing for itself.
+        """
+        ride = cluster.scheduler.ride(req.stripe, req.block)
+        if ride is None:
+            return False
+        rode = True
+        with METRICS.timer("cluster.latency.read", clock=sim_clock) as t:
+            try:
+                yield ride
+                plans = scheme.plan_read(req.stripe, req.block)
+            except RecoveryError:
+                rode = False  # the repair gave up; reconstruct after all
+                plans = scheme.plan_degraded_read(req.stripe, req.block)
+            yield sim.process(cluster.client.submit(plans, req.stripe))
+        result.read_latencies.append(t.elapsed)
+        if rode:
+            result.piggybacked_reads += 1
+        if METRICS.enabled:
+            METRICS.counter("cluster.requests.read", unit="requests").inc()
+            if rode:
+                METRICS.counter("cluster.requests.piggybacked", unit="requests").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "request",
+                ts=sim.now,
+                scheme=scheme.name,
+                op="read",
+                stripe=req.stripe,
+                latency=t.elapsed,
+                degraded=True,
+                piggybacked=rode,
+            )
+        return True
+
     def run_request(req):
         degraded = False
         try:
@@ -427,11 +508,15 @@ def run_workload(
                 if chaos_state is not None:
                     chaos_state.rewrite_stripe(req.stripe)
             elif (req.stripe, req.block) in failed_blocks:
-                plans = scheme.plan_degraded_read(req.stripe, req.block)
                 result.degraded_reads += 1
                 degraded = True
                 if METRICS.enabled:
                     METRICS.counter("cluster.degraded_reads", unit="requests").inc()
+                if cluster.scheduler is not None:
+                    served = yield from ride_repair(req)
+                    if served:
+                        return
+                plans = scheme.plan_degraded_read(req.stripe, req.block)
             else:
                 plans = scheme.plan_read(req.stripe, req.block)
             conversions, main = _split_plans(plans)
@@ -496,7 +581,10 @@ def run_workload(
                     cluster.recovery.submit(conversions, stripe), stripe, conversions
                 )
             with METRICS.timer("cluster.latency.recovery", clock=sim_clock) as t:
-                yield sim.process(cluster.recovery.submit(main, stripe))
+                if cluster.scheduler is not None:
+                    yield cluster.scheduler.submit(main, stripe, block)
+                else:
+                    yield sim.process(cluster.recovery.submit(main, stripe))
         except RecoveryError as exc:
             report_unrecoverable(stripe, block, str(exc))
             return False
@@ -608,5 +696,7 @@ def run_workload(
         if checker is not None:
             report = checker.finalize()
             result.invariant_checks = report.checks
-            result.invariant_violations = report.as_dict()["violations"]
+            report_dict = report.as_dict()
+            result.invariant_violations = report_dict["violations"]
+            result.at_risk_stripes = report_dict["at_risk"]
     return result

@@ -264,47 +264,59 @@ class AllOf(Event):
 
 
 class FIFOResource:
-    """A single-server FIFO queue — the building block for disks/NICs/CPUs.
+    """A FIFO queue with ``capacity`` servers — the building block for
+    disks/NICs/CPUs (all single-server) and the recovery scheduler's
+    global repair-slot limiter (multi-server).
 
     ``use(duration)`` is the common pattern: acquire, hold for ``duration``
     simulated seconds, release.  Utilisation statistics are tracked for the
-    experiment reports.
+    experiment reports.  At ``capacity=1`` (the default) the behaviour —
+    grant order, event counts, timestamps — is identical to the historical
+    single-server implementation, which the golden-digest test pins.
     """
 
-    def __init__(self, sim: Simulator, name: str = "resource"):
+    def __init__(self, sim: Simulator, name: str = "resource", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
         self.sim = sim
         self.name = name
         # resources are named "disk3"/"nic0"/"client-cpu"; metrics aggregate
         # over the class, so "disk3" and "disk7" share the "disk" series
         self.metric_key = name.rstrip("0123456789") or name
-        self._busy = False
+        self.capacity = capacity
+        self._in_service = 0
         self._waiting: deque[Event] = deque()
         self.busy_time = 0.0
         self.served = 0
 
     @property
+    def _busy(self) -> bool:
+        """True when no server is free (back-compat view of the old flag)."""
+        return self._in_service >= self.capacity
+
+    @property
     def queue_depth(self) -> int:
         """Requests currently queued or in service (bytes "in flight")."""
-        return len(self._waiting) + (1 if self._busy else 0)
+        return len(self._waiting) + self._in_service
 
     def acquire(self) -> Event:
-        """Event that fires when the caller holds the resource."""
+        """Event that fires when the caller holds a server."""
         ev = Event(self.sim)
-        if not self._busy:
-            self._busy = True
+        if self._in_service < self.capacity:
+            self._in_service += 1
             self.sim.schedule(ev, 0.0)
         else:
             self._waiting.append(ev)
         return ev
 
     def release(self) -> None:
-        """Hand the resource to the next waiter (FIFO)."""
-        if not self._busy:
+        """Hand the freed server to the next waiter (FIFO)."""
+        if not self._in_service:
             raise RuntimeError(f"{self.name}: release without acquire")
         if self._waiting:
             self.sim.schedule(self._waiting.popleft(), 0.0)
         else:
-            self._busy = False
+            self._in_service -= 1
 
     def _release_cb(self, _ev: Event) -> None:
         self.release()
@@ -321,15 +333,16 @@ class FIFOResource:
         if duration < 0:
             raise ValueError("duration must be non-negative")
         sim = self.sim
-        if not self._busy and not METRICS.enabled:
-            # Uncontended fast path: claim the server now and wait only for
-            # the hold itself.  ``acquire`` would flip ``_busy`` at this
-            # exact moment anyway and deliver the grant through a zero-delay
-            # heap event; completion lands at the identical timestamp, so
-            # skipping the grant event removes ~a third of all heap traffic
-            # without moving any latency.  (The metered path keeps the
-            # grant event so queue-wait histograms still observe zeros.)
-            self._busy = True
+        if self._in_service < self.capacity and not METRICS.enabled:
+            # Uncontended fast path: claim a server now and wait only for
+            # the hold itself.  ``acquire`` would bump ``_in_service`` at
+            # this exact moment anyway and deliver the grant through a
+            # zero-delay heap event; completion lands at the identical
+            # timestamp, so skipping the grant event removes ~a third of all
+            # heap traffic without moving any latency.  (The metered path
+            # keeps the grant event so queue-wait histograms still observe
+            # zeros.)
+            self._in_service += 1
             self.busy_time += duration
             self.served += 1
             done = sim.timeout(duration)

@@ -66,6 +66,30 @@ class Link(FIFOResource):
         """Generator: occupy the link for one transfer."""
         yield self.transfer_ev(nbytes)
 
+    def stream_ev(self, nbytes: float, first: bool = True):
+        """Transfer one chunk of an open stream.
+
+        The pipelined repair path slices a block into many small chunks;
+        charging the fixed per-transfer ``latency`` on every chunk would
+        tax the pipeline for protocol setup it pays only once per
+        connection.  The first chunk of a stream pays the full
+        :meth:`transfer_time`; continuation chunks occupy the link for
+        their serialisation time only.
+        """
+        if first:
+            return self.transfer_ev(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.bytes_moved += nbytes
+        if METRICS.enabled:
+            METRICS.counter(f"cluster.net.bytes.{self.metric_key}", unit="bytes").inc(
+                nbytes
+            )
+        t = nbytes / self.bandwidth
+        if self.derate != 1.0:
+            t *= self.derate
+        return self.use_ev(t)
+
 
 class Cpu(FIFOResource):
     """A coding CPU: α GF multiply/XOR byte-operations per second."""

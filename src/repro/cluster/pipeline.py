@@ -1,0 +1,145 @@
+"""Pipelined repair: chunked partial-combination streaming (ECPipe-style).
+
+Conventional repair (``PlanExecutor.execute``) pulls every helper's full
+read into one reconstructor, so a single NIC serialises ``k·γ`` bytes for
+RS — exactly the Table III transmission bottleneck.  Repair pipelining
+(Li et al., *Repair Pipelining for Erasure-Coded Storage*) slices the
+rebuilt block into ``C`` fixed-size chunks and streams **partial GF
+combinations** hop-by-hop along a path of surviving helpers:
+
+* hop 0 reads its chunk-slice from disk, scales it by its repair
+  coefficient (RS: one row of :meth:`~repro.codes.ReedSolomonCode.
+  repair_coefficients`; MSR: the :meth:`~repro.codes.MSRCode.
+  repair_helper_plan` column block of the fused repair matrix) and
+  forwards the partial;
+* every later hop folds its own scaled slice into the incoming partial
+  (one XOR — GF sums commute, so any hop order is byte-identical) and
+  forwards it on;
+* the final partial lands at the reconstructor, which writes the chunk.
+
+Each hop's disk/CPU/NIC are FIFO servers, so chunk ``c+1`` occupies hop
+``h`` while chunk ``c`` occupies hop ``h+1`` — the pipeline fills and the
+makespan drops from ``k·γ/λ`` through one NIC to roughly
+``(C + m)·(γ/C)/λ`` across ``m`` hops: bandwidth-bound, not
+coordinator-bound.  The functional twin of this schedule — real bytes,
+same chunking, same partial sums — is ``repair_streamed`` on both codecs
+and :meth:`repro.fusion.ECFusion.recover_streamed`, property-tested
+byte-identical to the one-shot repair.
+
+Chaos composes: every hop runs the executor's reachability protocol, so a
+mid-pipeline kill fails the job fast with
+:class:`~repro.cluster.DeadNodeError` and a partition stalls then raises
+:class:`~repro.chaos.PartitionError` — which the supervising
+:class:`~repro.cluster.RecoveryManager` turns into its usual
+exponential-backoff re-stream of the whole job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Hashable
+
+from ..hybrid.plans import OpPlan
+from ..telemetry import METRICS, TRACER
+
+__all__ = ["DEFAULT_CHUNK", "pipeline_slices", "execute_pipelined"]
+
+#: default pipeline chunk size in bytes (1 MiB — small enough to fill the
+#: pipe at γ = 27 MiB, large enough that per-chunk latency stays noise)
+DEFAULT_CHUNK = float(1 << 20)
+
+
+def pipeline_slices(output_bytes: float, chunk_size: float) -> tuple[int, float]:
+    """Split a rebuilt block into equal pipeline chunks.
+
+    Returns ``(chunks, bytes_per_chunk)``; the block is divided evenly so
+    every chunk exercises the pipe identically (the last ragged chunk of a
+    naive split would otherwise decide the tail latency).
+
+    Examples
+    --------
+    >>> pipeline_slices(81.0, 27.0)
+    (3, 27.0)
+    >>> pipeline_slices(100.0, 30.0)
+    (4, 25.0)
+    >>> pipeline_slices(10.0, 100.0)
+    (1, 10.0)
+    """
+    if output_bytes < 0 or chunk_size <= 0:
+        raise ValueError("need output_bytes >= 0 and chunk_size > 0")
+    chunks = max(1, math.ceil(output_bytes / chunk_size))
+    return chunks, output_bytes / chunks
+
+
+def execute_pipelined(
+    executor,
+    plan: OpPlan,
+    stripe: Hashable,
+    chunk_size: float = DEFAULT_CHUNK,
+) -> Generator:
+    """Generator executing one reconstruction plan as a chunk pipeline.
+
+    The helper path is the plan's read slots in slot order (deterministic);
+    the reconstructor is the node owning the plan's write slot.  Per chunk
+    and hop the simulation charges: the hop's *proportional share* of its
+    local read (``reads[slot]/C`` — γ/C for RS, (γ/r)/C for MSR), the
+    partial-combination compute (scale-own-slice at hop 0, scale + fold
+    beyond), and one chunk-sized NIC transfer; only a stream's first chunk
+    pays the fixed per-transfer link latency.  The plan's lump
+    ``compute_ops`` is *not* charged at the reconstructor — the hops have
+    already performed the combination, distributed across their CPUs.
+
+    Caller contract: ``plan.reads`` and ``plan.writes`` must be non-empty
+    (the :class:`~repro.cluster.RecoveryManager` only routes such plans
+    here) and failures propagate exactly like the conventional path —
+    ``DeadNodeError`` / ``PartitionError`` out of the first failing chunk.
+    """
+    if not plan.reads or not plan.writes:
+        raise ValueError("pipelined execution needs a plan with reads and writes")
+    sim = executor.sim
+    info = executor.namenode.lookup(stripe)
+    helper_slots = sorted(plan.reads)
+    path = [executor.nodes[info.placement[slot]] for slot in helper_slots]
+    target_slot = next(iter(plan.writes))
+    target = executor.nodes[info.placement[target_slot]]
+    output_bytes = max(plan.writes.values())
+    chunks, chunk_out = pipeline_slices(output_bytes, chunk_size)
+    slice_bytes = [plan.reads[slot] / chunks for slot in helper_slots]
+    started = sim.now
+
+    def chunk_flow(index: int) -> Generator:
+        first = index == 0
+        for hop, node in enumerate(path):
+            yield from executor.check_reachable(node)
+            yield node.disk.read_ev(slice_bytes[hop])
+            # hop 0 scales its own slice; later hops also fold the
+            # upstream partial in (one extra XOR pass over the chunk)
+            yield node.cpu.compute_ev(chunk_out if hop == 0 else 2 * chunk_out)
+            yield node.nic.stream_ev(chunk_out, first=first)
+        # ingest at the reconstructor: the last partial is the rebuilt chunk
+        yield from executor.check_reachable(target)
+        yield target.nic.stream_ev(chunk_out, first=first)
+
+    flows = [sim.process(chunk_flow(c)) for c in range(chunks)]
+    # all_of observes every flow at construction, so when one chunk fails
+    # fast the stragglers' later failures are absorbed, never re-raised
+    yield sim.all_of(flows)
+    yield from executor.check_reachable(target)
+    yield target.disk.write_ev(plan.writes[target_slot])
+    if METRICS.enabled:
+        METRICS.counter("cluster.pipeline.repairs", unit="jobs").inc()
+        METRICS.counter("cluster.pipeline.bytes_streamed", unit="bytes").inc(
+            output_bytes * (len(path) + 1)
+        )
+        METRICS.histogram("cluster.pipeline.chunks", unit="chunks").observe(chunks)
+    if TRACER.enabled:
+        TRACER.emit(
+            "pipeline-repair",
+            ts=sim.now,
+            stripe=stripe,
+            target=target.node_id,
+            hops=len(path),
+            chunks=chunks,
+            chunk_bytes=chunk_out,
+            latency=sim.now - started,
+        )

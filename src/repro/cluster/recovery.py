@@ -3,14 +3,27 @@
 Decoding happens on the node that receives the rebuilt chunk (the
 replacement writer), so recovery compute contends with that node's share
 of foreground traffic — the paper's online-recovery interference in
-miniature.
+miniature.  With ``pipeline_chunk`` set, reconstruction instead streams
+chunked partial combinations hop-by-hop across the surviving helpers
+(:mod:`repro.cluster.pipeline`), removing the reconstructor-NIC
+serialisation entirely.
 
 Under chaos, repair jobs are *supervised*: a helper read that times out
 against a partitioned source retries the whole job with exponential
 backoff (the partition usually heals first), while a permanently dead
 source fails the job fast with :class:`RecoveryError` — historically this
 second case silently hung the event loop, because the job's process
-simply never resumed and nothing reported why.
+simply never resumed and nothing reported why.  Pipelined jobs inherit
+the same supervision: a mid-pipeline partition re-streams the whole job
+after backoff, a mid-pipeline kill aborts it loudly.
+
+:class:`RecoveryScheduler` adds admission control on top: multi-stripe
+failure storms queue as :class:`RepairJob`\\ s, dispatch most-at-risk
+stripe first (more outstanding erasures = closer to data loss), and are
+capped per node, per rack, and globally — so a storm cannot pile every
+repair onto the same survivors.  Degraded reads *ride* the job that is
+already rebuilding their chunk instead of starting a duplicate
+reconstruction.
 """
 
 from __future__ import annotations
@@ -18,12 +31,14 @@ from __future__ import annotations
 from typing import Generator, Hashable
 
 from ..chaos.faults import PartitionError
-from ..hybrid.plans import OpPlan
+from ..hybrid.plans import OpPlan, PlanKind
 from ..telemetry import METRICS, TRACER
 from .client import DeadNodeError, PlanExecutor
+from .events import Event, FIFOResource
 from .network import Link
+from .pipeline import DEFAULT_CHUNK, execute_pipelined
 
-__all__ = ["RecoveryError", "RecoveryManager"]
+__all__ = ["RecoveryError", "RecoveryManager", "RepairJob", "RecoveryScheduler"]
 
 
 class RecoveryError(RuntimeError):
@@ -40,11 +55,23 @@ class RecoveryManager:
         (the HDFS-style repair throttle).  Every recovery plan's bytes
         additionally pass through this shared link, so aggressive storms
         cannot starve foreground I/O beyond the cap.
+    pipeline_chunk:
+        Chunk size in bytes for pipelined (ECPipe-style) reconstruction;
+        ``None`` (the default) keeps the conventional pull-everything
+        execution, bit-identical to the historical path.
     """
 
-    def __init__(self, executor: PlanExecutor, bandwidth_cap: float | None = None):
+    def __init__(
+        self,
+        executor: PlanExecutor,
+        bandwidth_cap: float | None = None,
+        pipeline_chunk: float | None = None,
+    ):
         self.executor = executor
         self.jobs_completed = 0
+        if pipeline_chunk is not None and pipeline_chunk <= 0:
+            raise ValueError("pipeline_chunk must be positive")
+        self.pipeline_chunk = pipeline_chunk
         self.throttle: Link | None = None
         if bandwidth_cap is not None:
             if bandwidth_cap <= 0:
@@ -63,6 +90,19 @@ class RecoveryManager:
         # conversion-only plan lists still need a worker: the stripe's head node
         return self.executor.nodes[info.placement[0]]
 
+    def _execute_attempt(self, plans: list[OpPlan], stripe: Hashable, worker) -> Generator:
+        """One attempt at the job: conventional or pipelined per plan."""
+        if self.pipeline_chunk is None:
+            yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
+            return
+        for plan in plans:
+            if plan.kind is PlanKind.RECOVERY and plan.reads and plan.writes:
+                yield from execute_pipelined(
+                    self.executor, plan, stripe, chunk_size=self.pipeline_chunk
+                )
+            else:
+                yield from self.executor.execute(plan, stripe, worker.cpu, worker.nic)
+
     def submit(self, plans: list[OpPlan], stripe: Hashable) -> Generator:
         """Generator for one recovery job (conversions + reconstruction).
 
@@ -70,7 +110,9 @@ class RecoveryManager:
         helper read retries the job with exponential backoff up to the
         profile's ``max_retries``; :class:`DeadNodeError` (or exhausted
         retries) raises :class:`RecoveryError` immediately — the job fails
-        *fast and loud* instead of hanging the event loop.
+        *fast and loud* instead of hanging the event loop.  The same
+        supervision wraps pipelined attempts, which re-stream from chunk 0
+        on retry (partial sums are never persisted mid-flight).
         """
         worker = self._decode_node(plans, stripe)
         if self.throttle is not None:
@@ -89,7 +131,7 @@ class RecoveryManager:
         attempt = 0
         while True:
             try:
-                yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
+                yield from self._execute_attempt(plans, stripe, worker)
                 break
             except DeadNodeError as exc:
                 raise RecoveryError(
@@ -117,3 +159,259 @@ class RecoveryManager:
                     chaos.retry_backoff * 2 ** (attempt - 1)
                 )
         self.jobs_completed += 1
+
+
+class RepairJob:
+    """One queued/running reconstruction, tracked by the scheduler."""
+
+    __slots__ = (
+        "stripe",
+        "block",
+        "plans",
+        "done",
+        "seq",
+        "queued_at",
+        "dispatched_at",
+        "nodes",
+        "racks",
+        "boosted",
+        "state",
+    )
+
+    def __init__(self, stripe, block, plans, done, seq, queued_at, nodes, racks):
+        self.stripe = stripe
+        self.block = block
+        self.plans = plans
+        #: completion event — fails with :class:`RecoveryError` on give-up
+        self.done = done
+        self.seq = seq
+        self.queued_at = queued_at
+        self.dispatched_at: float | None = None
+        #: data nodes the job reads from or writes to (concurrency caps)
+        self.nodes = nodes
+        self.racks = racks
+        #: a degraded read is waiting on this job — dispatch it first
+        self.boosted = False
+        self.state = "queued"  # queued | running | done | failed
+
+
+class RecoveryScheduler:
+    """Admission control and prioritisation for background repairs.
+
+    Jobs queue on :meth:`submit` and dispatch whenever capacity frees up,
+    most-at-risk first:
+
+    * **priority** — boosted jobs (a degraded read is blocked on them)
+      beat unboosted ones; then stripes with *more outstanding erasures*
+      (closest to exceeding the code's tolerance) beat healthier ones;
+      ties break by submission order, so scheduling stays deterministic;
+    * **per-node cap** — at most ``max_per_node`` running jobs may touch
+      any one data node (helpers included), keeping a storm from
+      serialising every pipeline through the same survivor;
+    * **per-rack cap** — optional analogue across failure domains;
+    * **global cap** — ``max_total`` running jobs overall, enforced by a
+      multi-server :class:`~repro.cluster.FIFOResource` (capacity =
+      ``max_total``), the same primitive the disks and NICs queue on.
+
+    Degraded reads call :meth:`ride` to wait on the job already rebuilding
+    their chunk — queued jobs get boosted, running jobs are joined — so a
+    client read never triggers a duplicate reconstruction while a repair
+    is in flight.
+    """
+
+    def __init__(
+        self,
+        manager: RecoveryManager,
+        namenode,
+        max_per_node: int = 2,
+        max_per_rack: int | None = None,
+        max_total: int | None = None,
+    ):
+        if max_per_node < 1:
+            raise ValueError("max_per_node must be at least 1")
+        if max_per_rack is not None and max_per_rack < 1:
+            raise ValueError("max_per_rack must be at least 1")
+        if max_total is not None and max_total < 1:
+            raise ValueError("max_total must be at least 1")
+        self.manager = manager
+        self.namenode = namenode
+        self.max_per_node = max_per_node
+        self.max_per_rack = max_per_rack
+        self.max_total = max_total
+        #: bound by the workload driver: the live lost-chunk set that
+        #: measures each stripe's durability risk (erasure count)
+        self.failed_blocks: set | None = None
+        self.queue: list[RepairJob] = []
+        self.running: dict[tuple, RepairJob] = {}
+        self._node_load: dict[int, int] = {}
+        self._rack_load: dict[int, int] = {}
+        self._seq = 0
+        self.jobs_dispatched = 0
+        self.slots: FIFOResource | None = None
+        if max_total is not None:
+            self.slots = FIFOResource(
+                manager.executor.sim, name="repair-slots", capacity=max_total
+            )
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet dispatched."""
+        return len(self.queue)
+
+    def pending_jobs(self) -> list[RepairJob]:
+        """Queued-but-unscheduled jobs (the invariant sweep's at-risk set)."""
+        return list(self.queue)
+
+    def ride(self, stripe, block) -> Event | None:
+        """The completion event of the job rebuilding ``(stripe, block)``.
+
+        Returns ``None`` when no such job is queued or running.  Riding a
+        *queued* job boosts it to the head of the dispatch order — a
+        client is now blocked on it.
+        """
+        job = self.running.get((stripe, block))
+        if job is not None:
+            return job.done
+        for job in self.queue:
+            if job.stripe == stripe and job.block == block:
+                job.boosted = True
+                return job.done
+        return None
+
+    # -- admission -----------------------------------------------------------
+    def _job_footprint(self, plans, stripe):
+        info = self.namenode.lookup(stripe)
+        slots = set()
+        for plan in plans:
+            slots.update(plan.reads)
+            slots.update(plan.writes)
+        nodes = frozenset(info.placement[slot] for slot in slots)
+        racks = frozenset(self.namenode.rack_of(node) for node in nodes)
+        return nodes, racks
+
+    def submit(self, plans: list[OpPlan], stripe, block) -> Event:
+        """Queue one reconstruction; returns its completion event.
+
+        The event succeeds when the repair lands and *fails* with
+        :class:`RecoveryError` when the job gives up — the same contract
+        as waiting on :meth:`RecoveryManager.submit` directly.
+        """
+        sim = self.manager.executor.sim
+        self._seq += 1
+        nodes, racks = self._job_footprint(plans, stripe)
+        job = RepairJob(
+            stripe, block, plans, Event(sim), self._seq, sim.now, nodes, racks
+        )
+        self.queue.append(job)
+        if METRICS.enabled:
+            METRICS.gauge("cluster.scheduler.queue_depth", unit="jobs").set(
+                len(self.queue)
+            )
+        if TRACER.enabled:
+            TRACER.emit(
+                "repair-queued",
+                ts=sim.now,
+                stripe=stripe,
+                block=block,
+                queue_depth=len(self.queue),
+            )
+        self._dispatch()
+        return job.done
+
+    # -- dispatch ------------------------------------------------------------
+    def _risk(self, stripe) -> int:
+        """Outstanding erasures on ``stripe`` — more = closer to data loss."""
+        if self.failed_blocks is None:
+            return 1
+        return sum(1 for s, _slot in self.failed_blocks if s == stripe)
+
+    def _eligible(self, job: RepairJob) -> bool:
+        if any(self._node_load.get(n, 0) >= self.max_per_node for n in job.nodes):
+            return False
+        if self.max_per_rack is not None and any(
+            self._rack_load.get(r, 0) >= self.max_per_rack for r in job.racks
+        ):
+            return False
+        return True
+
+    def _pick(self) -> RepairJob | None:
+        # gate on the running map, not the slot resource: a dispatched job
+        # only acquires its slot when its process first runs, so the
+        # resource undercounts jobs dispatched in the same instant
+        if self.max_total is not None and len(self.running) >= self.max_total:
+            return None  # every global repair slot is committed
+        best = None
+        best_key = None
+        for job in self.queue:
+            if not self._eligible(job):
+                continue
+            key = (job.boosted, self._risk(job.stripe), -job.seq)
+            if best is None or key > best_key:
+                best, best_key = job, key
+        return best
+
+    def _dispatch(self) -> None:
+        sim = self.manager.executor.sim
+        while True:
+            job = self._pick()
+            if job is None:
+                return
+            self.queue.remove(job)
+            job.state = "running"
+            job.dispatched_at = sim.now
+            self.running[(job.stripe, job.block)] = job
+            for n in job.nodes:
+                self._node_load[n] = self._node_load.get(n, 0) + 1
+            for r in job.racks:
+                self._rack_load[r] = self._rack_load.get(r, 0) + 1
+            self.jobs_dispatched += 1
+            if METRICS.enabled:
+                METRICS.gauge("cluster.scheduler.queue_depth", unit="jobs").set(
+                    len(self.queue)
+                )
+                METRICS.gauge("cluster.scheduler.running", unit="jobs").set(
+                    len(self.running)
+                )
+                METRICS.histogram("cluster.scheduler.queue_wait", unit="s").observe(
+                    sim.now - job.queued_at
+                )
+            if TRACER.enabled:
+                TRACER.emit(
+                    "repair-dispatched",
+                    ts=sim.now,
+                    stripe=job.stripe,
+                    block=job.block,
+                    waited=sim.now - job.queued_at,
+                    boosted=job.boosted,
+                )
+            sim.process(self._run(job))
+
+    def _run(self, job: RepairJob) -> Generator:
+        if self.slots is not None:
+            # dispatch is gated on a free slot, so this grant is immediate;
+            # the multi-server resource still serialises any race exactly
+            yield self.slots.acquire()
+        exc: RecoveryError | None = None
+        try:
+            yield from self.manager.submit(job.plans, job.stripe)
+        except RecoveryError as e:
+            exc = e
+        finally:
+            self.running.pop((job.stripe, job.block), None)
+            for n in job.nodes:
+                self._node_load[n] -= 1
+            for r in job.racks:
+                self._rack_load[r] -= 1
+            if self.slots is not None:
+                self.slots.release()
+            if METRICS.enabled:
+                METRICS.gauge("cluster.scheduler.running", unit="jobs").set(
+                    len(self.running)
+                )
+        job.state = "done" if exc is None else "failed"
+        if exc is None:
+            job.done.succeed()
+        else:
+            job.done.fail(exc)
+        self._dispatch()

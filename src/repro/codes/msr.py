@@ -356,12 +356,17 @@ class MSRCode(LinearVectorCode):
         # fused application (columns of the failed node stay zero).
         l = self.subpacketization
         eye = np.eye(self.n * l, dtype=gf.dtype)
+        self._repair_matrices: dict[int, np.ndarray] = {}
         for f in range(self.n):
             basis_view = {
                 i: eye[i * l : (i + 1) * l] for i in range(self.n) if i != f
             }
             repair_matrix = self._repair_coupled_batched(f, basis_view)
+            # the raw matrix is kept: its per-helper column slices are the
+            # partial-combination kernels of the streamed/pipelined repair
+            self._repair_matrices[f] = repair_matrix
             self._repair_fused[f] = CodingPlan(repair_matrix, w=self._w)
+        self._helper_plans: dict[tuple[int, int], CodingPlan] = {}
 
     def repair_planes(self, failed: int) -> list[int]:
         """The ``l/s`` plane indices every helper must read to repair ``failed``."""
@@ -540,3 +545,73 @@ class MSRCode(LinearVectorCode):
                 len(planes) * sub * per_plane
             )
         return RepairResult(block=failed_block.reshape(L), bytes_read=bytes_read)
+
+    # ------------------------------------------------------- streamed repair
+    def repair_helper_plan(self, failed: int, helper: int) -> CodingPlan:
+        """The compiled ``(l × l/s)`` partial-combination kernel for one helper.
+
+        The fused repair matrix is GF-linear over the stacked helper
+        symbols, so its column block for ``helper``'s repair planes maps
+        that helper's ``l/s`` read planes to an ``l``-row partial sum; the
+        rebuilt block is the XOR of all ``n − 1`` partials.  This is the
+        per-hop kernel of the cluster's repair pipeline for MSR stripes.
+        """
+        if not 0 <= failed < self.n:
+            raise ValueError(f"failed node {failed} out of range")
+        if helper == failed or not 0 <= helper < self.n:
+            raise ValueError(f"invalid helper {helper} for failed node {failed}")
+        key = (failed, helper)
+        plan = self._helper_plans.get(key)
+        if plan is None:
+            l = self.subpacketization
+            planes = np.asarray(self.repair_planes(failed), dtype=np.intp)
+            cols = helper * l + planes
+            plan = CodingPlan(self._repair_matrices[failed][:, cols], w=self._w)
+            self._helper_plans[key] = plan
+        return plan
+
+    def repair_streamed(
+        self, failed: int, shards: Mapping[int, np.ndarray], chunk_size: int = 1 << 16
+    ) -> RepairResult:
+        """Chunked helper-by-helper repair — the pipelined path's codec.
+
+        Requires all ``n − 1`` helpers (like the fused path; with fewer
+        survivors repair degenerates to a full decode and there is nothing
+        to pipeline).  Splits the within-plane axis into output chunks of
+        about ``chunk_size`` bytes and folds one helper's partial at a
+        time via :meth:`repair_helper_plan` — the same partial sums each
+        hop of a repair pipeline would stream.  The column split and the
+        helper split both commute with the GF sums of the fused matrix
+        application, so the result is byte-identical to :meth:`repair`.
+        """
+        shards = self._check_shards(shards)
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        helpers = sorted(set(range(self.n)) - {failed})
+        if not set(helpers) <= set(shards):
+            raise ValueError(
+                f"streamed repair needs all n-1 helpers, got {sorted(shards)}"
+            )
+        l = self.subpacketization
+        L = next(iter(shards.values())).shape[0]
+        if L % l:
+            raise ValueError(f"block length {L} not a multiple of l={l}")
+        sub = L // l
+        planes = np.asarray(self.repair_planes(failed), dtype=np.intp)
+        if METRICS.enabled:
+            METRICS.counter("codes.msr.repair_streamed_calls", unit="calls").inc()
+        # chunk the within-plane axis so one output chunk is ~chunk_size bytes
+        cols = max(1, min(sub, chunk_size // l))
+        acc = np.zeros((l, sub), dtype=next(iter(shards.values())).dtype)
+        views = {i: shards[i].reshape(l, sub)[planes] for i in helpers}
+        for start in range(0, sub, cols):
+            stop = min(start + cols, sub)
+            for helper in helpers:
+                partial = self.repair_helper_plan(failed, helper).apply(
+                    np.ascontiguousarray(views[helper][:, start:stop])
+                )
+                acc[:, start:stop] ^= partial
+        bytes_read = {i: len(planes) * sub for i in helpers}
+        return RepairResult(block=acc.reshape(L), bytes_read=bytes_read)

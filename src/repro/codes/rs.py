@@ -16,11 +16,11 @@ converting hot stripes to MSR.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..gf import apply_to_blocks, systematic_rs_parity
+from ..gf import CodingPlan, apply_to_blocks, inverse, matmul, systematic_rs_parity
 from ..telemetry import METRICS
 from .base import LinearVectorCode, ParameterError, RepairResult
 
@@ -51,6 +51,10 @@ class ReedSolomonCode(LinearVectorCode):
         super().__init__(n=k + r, k=k, generator=generator, subpacketization=1, w=w)
         #: the r×k parity-coefficient matrix P (p = P @ d)
         self.parity_matrix = parity
+        # per-(failed, helpers) repair-coefficient row + compiled per-helper
+        # scaling plans, built lazily by the streamed/pipelined repair path
+        self._repair_coeff_cache: dict[tuple, np.ndarray] = {}
+        self._scale_plans: dict[int, CodingPlan] = {}
 
     #: counters land under ``codes.rs.*``
     telemetry_key = "rs"
@@ -85,3 +89,74 @@ class ReedSolomonCode(LinearVectorCode):
             block = apply_to_blocks(row, data, w=self.w)[0]
         bytes_read = {i: shards[i].shape[0] for i in helpers}
         return RepairResult(block=block, bytes_read=bytes_read)
+
+    # ------------------------------------------------------- streamed repair
+    def repair_coefficients(self, failed: int, helpers: Sequence[int]) -> np.ndarray:
+        """GF coefficients ``c`` with ``lost = Σ cᵢ · shard(helpers[i])``.
+
+        Any lost block is a fixed GF-linear combination of any ``k``
+        survivors: with ``G`` the (n × k) generator, the helper rows form an
+        invertible ``k × k`` submatrix ``G_H`` (MDS), so
+        ``c = G[failed] · G_H⁻¹``.  This row is the algebra behind both
+        :meth:`repair_streamed` and the cluster's hop-by-hop repair
+        pipeline, where helper ``i`` contributes the partial product
+        ``cᵢ · shardᵢ`` and partials merge by XOR in any order.
+        """
+        helpers = tuple(helpers)
+        if len(helpers) != self.k or len(set(helpers)) != self.k:
+            raise ValueError(f"need exactly k={self.k} distinct helpers")
+        if failed in helpers or not 0 <= failed < self.n:
+            raise ValueError(f"invalid failed node {failed} for helpers {helpers}")
+        key = (failed, helpers)
+        cached = self._repair_coeff_cache.get(key)
+        if cached is None:
+            sub = self.generator[np.asarray(helpers)]
+            coeffs = matmul(
+                self.generator[failed : failed + 1], inverse(sub, w=self.w), w=self.w
+            )[0]
+            cached = self._repair_coeff_cache[key] = coeffs
+        return cached
+
+    def _scale_plan(self, coeff: int) -> CodingPlan:
+        """Compiled 1×1 plan for one helper's scaling (shared across calls)."""
+        plan = self._scale_plans.get(coeff)
+        if plan is None:
+            matrix = np.array([[coeff]], dtype=self.generator.dtype)
+            plan = self._scale_plans[coeff] = CodingPlan(matrix, w=self.w)
+        return plan
+
+    def repair_streamed(
+        self, failed: int, shards: Mapping[int, np.ndarray], chunk_size: int = 1 << 16
+    ) -> RepairResult:
+        """Chunked partial-combination repair — the pipelined path's codec.
+
+        Walks the block in ``chunk_size``-byte output chunks and folds one
+        helper's scaled chunk at a time into the accumulator, exactly as
+        each hop of the cluster's repair pipeline would: helper ``i``
+        computes ``cᵢ · own-chunk`` (a compiled :class:`~repro.gf.CodingPlan`
+        application) and XORs it into the partial sum received from the
+        previous hop.  GF arithmetic is exact, so the result is
+        byte-identical to :meth:`repair` for every chunk size.
+        """
+        shards = self._check_shards(shards)
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        helpers = sorted(shards)[: self.k]
+        coeffs = self.repair_coefficients(failed, helpers)
+        L = shards[helpers[0]].shape[0]
+        if METRICS.enabled:
+            METRICS.counter("codes.rs.repair_streamed_calls", unit="calls").inc()
+        acc = np.zeros(L, dtype=shards[helpers[0]].dtype)
+        for start in range(0, L, chunk_size):
+            stop = min(start + chunk_size, L)
+            for coeff, helper in zip(coeffs, helpers):
+                if not coeff:
+                    continue  # helper contributes nothing to this block
+                partial = self._scale_plan(int(coeff)).apply(
+                    shards[helper][np.newaxis, start:stop]
+                )
+                acc[start:stop] ^= partial[0]
+        bytes_read = {i: L for i in helpers}
+        return RepairResult(block=acc, bytes_read=bytes_read)

@@ -18,6 +18,7 @@ from . import (
     fig17_recovery,
     fig18_overall,
     fig19_cost_effective,
+    fig_pipeline_repair,
     table4_allocation,
     table7_summary,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "fig17_recovery",
     "fig18_overall",
     "fig19_cost_effective",
+    "fig_pipeline_repair",
     "table4_allocation",
     "table7_summary",
 ]

@@ -69,6 +69,14 @@ class ExperimentConfig:
     verify_invariants:
         Sweep durability/metadata/conversion invariants during chaos runs
         (``--verify-invariants``).
+    pipeline_chunk:
+        Chunk size in bytes for pipelined (ECPipe-style) repair
+        (``--pipeline-chunk``, in MiB on the CLI); ``None`` keeps the
+        conventional pull-everything reconstruction.
+    repair_scheduler:
+        Route repairs through the risk-ordered
+        :class:`~repro.cluster.RecoveryScheduler` even without pipelining
+        (``--repair-scheduler``); implied by ``pipeline_chunk``.
     """
 
     k: int = 8
@@ -86,6 +94,8 @@ class ExperimentConfig:
     chaos_profile: str | None = None
     chaos_seed: int = 0
     verify_invariants: bool = False
+    pipeline_chunk: float | None = None
+    repair_scheduler: bool = False
 
     @property
     def profile(self) -> SystemProfile:
@@ -93,7 +103,12 @@ class ExperimentConfig:
 
     @property
     def cluster(self) -> ClusterConfig:
-        return ClusterConfig(num_nodes=self.num_nodes, profile=self.profile)
+        return ClusterConfig(
+            num_nodes=self.num_nodes,
+            profile=self.profile,
+            pipeline_chunk=self.pipeline_chunk,
+            repair_scheduler=self.repair_scheduler,
+        )
 
     @property
     def chaos(self) -> ChaosConfig | None:

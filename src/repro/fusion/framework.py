@@ -200,6 +200,51 @@ class ECFusion:
             conversions=conversions,
         )
 
+    def recover_streamed(
+        self, stripe: Hashable, block: int, chunk_size: int = 1 << 16
+    ) -> RecoveryReport:
+        """Reconstruct one lost data block via chunked partial combinations.
+
+        The functional twin of the cluster's pipelined repair
+        (:mod:`repro.cluster.pipeline`): the same adaptive policy flow as
+        :meth:`recover`, but the codec work runs through
+        ``repair_streamed`` — helper-by-helper partial sums folded one
+        ``chunk_size``-byte output chunk at a time, exactly the partials a
+        hop-by-hop repair pipeline would stream.  Byte-identical to
+        :meth:`recover` for every chunk size (GF sums commute).
+        """
+        if not 0 <= block < self.k:
+            raise ValueError(f"data block index {block} out of range")
+        conversions = self.selector.on_recovery(stripe)
+        self._apply_conversions(conversions)
+        store = self._locate(stripe)
+
+        if store.kind is CodeKind.RS:
+            shards = {
+                i: store.rs_blocks[i] for i in range(self.rs.n) if i != block
+            }
+            res = self.rs.repair_streamed(block, shards, chunk_size=chunk_size)
+            store.rs_blocks[block] = res.block
+        else:
+            g, j = self._group_of(block)
+            grp = store.msr_groups[g]
+            shards = {i: grp[i] for i in range(self.msr.n) if i != j}
+            res = self.msr.repair_streamed(j, shards, chunk_size=chunk_size)
+            grp[j] = res.block
+        self.repair_bytes_read += res.total_bytes_read
+        if METRICS.enabled:
+            METRICS.counter("fusion.store.recoveries", unit="blocks").inc()
+            METRICS.counter("fusion.store.repair_bytes_read", unit="bytes").inc(
+                res.total_bytes_read
+            )
+        return RecoveryReport(
+            stripe=stripe,
+            block=block,
+            code=store.kind,
+            bytes_read=res.total_bytes_read,
+            conversions=conversions,
+        )
+
     def recover_parity(self, stripe: Hashable, index: int) -> RecoveryReport:
         """Reconstruct one lost parity block.
 

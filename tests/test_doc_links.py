@@ -1,0 +1,57 @@
+"""Every markdown cross-reference in README + docs/ must resolve."""
+
+import pathlib
+import sys
+
+SCRIPTS = pathlib.Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load():
+    sys.path.insert(0, str(SCRIPTS))
+    try:
+        import check_doc_links
+
+        return check_doc_links
+    finally:
+        sys.path.pop(0)
+
+
+def test_doc_links_resolve(capsys):
+    checker = _load()
+    rc = checker.main([])
+    captured = capsys.readouterr()
+    assert rc == 0, f"broken documentation links:\n{captured.err}"
+
+
+def test_checker_flags_broken_links(tmp_path, monkeypatch):
+    checker = _load()
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "a.md").write_text("# Real heading\n")
+    (tmp_path / "README.md").write_text(
+        "# Title\n"
+        "[ok](docs/a.md) [good anchor](docs/a.md#real-heading) [self](#title)\n"
+        "[bad file](docs/missing.md) [bad anchor](docs/a.md#nope)\n"
+    )
+    monkeypatch.setattr(checker, "ROOT", tmp_path)
+    assert checker.main([]) == 1
+
+
+def test_slugs_match_github_rules():
+    checker = _load()
+    seen = {}
+    assert checker.github_slug("Pipelined repair & recovery scheduling", seen) \
+        == "pipelined-repair--recovery-scheduling"
+    assert checker.github_slug("Turning it on", seen) == "turning-it-on"
+    assert checker.github_slug("Turning it on", seen) == "turning-it-on-1"
+    assert checker.github_slug("The `FIFOResource` pool", {}) \
+        == "the-fiforesource-pool"
+
+
+def test_code_fences_are_skipped(tmp_path, monkeypatch):
+    checker = _load()
+    (tmp_path / "README.md").write_text(
+        "# Title\n```\n[not a link](nowhere.md)\n```\n"
+    )
+    monkeypatch.setattr(checker, "ROOT", tmp_path)
+    assert checker.main([]) == 0

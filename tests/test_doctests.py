@@ -10,6 +10,7 @@ import doctest
 import pytest
 
 import repro.cluster.events
+import repro.cluster.pipeline
 import repro.codes.evenodd
 import repro.codes.hitchhiker
 import repro.codes.lrc
@@ -37,6 +38,7 @@ MODULES = [
     repro.fusion.framework,
     repro.fusion.transform,
     repro.cluster.events,
+    repro.cluster.pipeline,
 ]
 
 
