@@ -25,9 +25,9 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_RESULT_SCHEMA = "repro.bench-result/v1"
 
 #: result-name roots whose structured entries also maintain a committed
-#: repo-root baseline (``BENCH_kernels.json`` / ``BENCH_campaign.json``)
-#: that CI's perf-smoke job diffs against a fresh run
-BASELINE_ROOTS = ("kernels", "campaign")
+#: repo-root baseline (``BENCH_kernels.json`` / ``BENCH_campaign.json`` /
+#: ``BENCH_serving.json``) that CI's perf-smoke job diffs against a fresh run
+BASELINE_ROOTS = ("kernels", "campaign", "serving")
 
 
 def _update_baseline(root: str, entries: list[dict]) -> None:

@@ -14,6 +14,9 @@ Usage::
     python -m repro trace-report t.jsonl   # offline span analytics on a trace
     python -m repro chaos --chaos-profile storm --chaos-seed 1 \\
         --verify-invariants --report chaos.json   # seeded fault campaign
+    python -m repro serve --target-ops 500 --distribution zipfian \\
+        --duration 60 --chaos-profile storm --report out.json
+                                         # serving workload + SLO report
 
 ``--chaos-profile`` overlays a seeded fault storm (stragglers, rack
 partitions, silent corruption with a background scrubber — see
@@ -47,6 +50,8 @@ import tempfile
 
 from . import telemetry
 from .chaos import PROFILES
+from .server.loadgen import DISTRIBUTIONS
+from .server.store import SERVER_SCHEMES
 from .experiments import (
     ExperimentConfig,
     set_default_jobs,
@@ -170,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help=(
             "experiment names (fig13..fig19, table7), 'all', 'list', 'stats', "
-            "or 'trace-report PATH'"
+            "'serve', or 'trace-report PATH'"
         ),
     )
     parser.add_argument("--k", type=int, nargs="+", default=[6, 8], help="stripe widths")
@@ -245,6 +250,74 @@ def build_parser() -> argparse.ArgumentParser:
             "snapshots + span analytics) to PATH as versioned JSON"
         ),
     )
+    serve = parser.add_argument_group(
+        "serve", "object-store serving workload (the 'serve' experiment)"
+    )
+    serve.add_argument(
+        "--target-ops",
+        type=float,
+        default=200.0,
+        metavar="OPS",
+        help="offered load in operations per second (open-loop Poisson rate)",
+    )
+    serve.add_argument(
+        "--distribution",
+        choices=DISTRIBUTIONS,
+        default="zipfian",
+        help="key popularity: zipfian / latest / uniform",
+    )
+    serve.add_argument(
+        "--read-fraction",
+        type=float,
+        default=0.95,
+        help="fraction of operations that are gets (rest are puts)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="simulated seconds of arrivals",
+    )
+    serve.add_argument(
+        "--objects", type=int, default=64, help="preloaded working-set size"
+    )
+    serve.add_argument(
+        "--object-size",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="object size in MiB (default: exactly one stripe)",
+    )
+    serve.add_argument(
+        "--scheme",
+        choices=SERVER_SCHEMES,
+        default="EC-Fusion",
+        help="erasure-coding scheme the store fronts",
+    )
+    serve.add_argument(
+        "--chunk-failure-rate",
+        type=float,
+        default=0.2,
+        metavar="PER_SEC",
+        help="seeded Poisson chunk failures per simulated second (0 = none)",
+    )
+    serve.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="frontend connection pool size (default: unbounded)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("open", "closed"),
+        default="open",
+        help="open-loop (Poisson arrivals) or closed-loop (fixed worker pool)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8, help="closed-loop worker count"
+    )
     return parser
 
 
@@ -314,16 +387,132 @@ def _run_trace_report(names: list[str]) -> int:
     return 0
 
 
-def _probe_writable(path: str) -> str | None:
-    """Check ``path``'s directory accepts new files; return the error if not."""
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` experiment: one seeded serving workload + SLO report.
+
+    Shares the figure campaigns' telemetry plumbing (``--trace`` /
+    ``--report`` probing included); the report gains a top-level
+    ``serving`` section with exact p50/p99/p999 latency per operation.
+    """
+    from .chaos import ChaosConfig
+    from .server import ServerConfig, WorkloadSpec, run_serving
+
+    trace_tmp, code = _probe_cli_outputs(args)
+    if code:
+        return code
+    try:
+        tracing = args.trace is not None or args.report is not None
+        if tracing:
+            telemetry.enable(
+                metrics=True, tracing=True, snapshots=args.report is not None
+            )
+        try:
+            spec = WorkloadSpec(
+                target_ops=args.target_ops,
+                duration=args.duration,
+                read_fraction=args.read_fraction,
+                distribution=args.distribution,
+                num_objects=args.objects,
+                object_size=(
+                    args.object_size * 1024 * 1024
+                    if args.object_size is not None
+                    else None
+                ),
+                seed=args.seed if args.seed is not None else 7,
+                connections=args.connections,
+                mode=args.mode,
+                workers=args.workers,
+            )
+            server = ServerConfig(
+                scheme=args.scheme, failure_rate=args.chunk_failure_rate
+            )
+        except ValueError as exc:
+            print(f"invalid serve configuration: {exc}", file=sys.stderr)
+            return 2
+        chaos = None
+        if args.chaos_profile is not None:
+            chaos = ChaosConfig(
+                profile=args.chaos_profile,
+                seed=args.chaos_seed if args.chaos_seed is not None else 0,
+            )
+        result = run_serving(spec, server, chaos)
+        print(result.render())
+        if args.trace is not None:
+            count = telemetry.TRACER.dump_jsonl(trace_tmp)
+            os.replace(trace_tmp, args.trace)  # atomic publish of the dump
+            trace_tmp = None
+            print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
+        if args.report is not None:
+            report = telemetry.build_report(
+                experiments=["serve"],
+                config={
+                    "server": dataclasses.asdict(server),
+                    "workload": dataclasses.asdict(spec),
+                    "chaos": dataclasses.asdict(chaos) if chaos is not None else None,
+                },
+                extra={"serving": result.to_dict()},
+            )
+            telemetry.write_report(args.report, report)
+            print(f"wrote serving report to {args.report}", file=sys.stderr)
+        return 0
+    finally:
+        if trace_tmp is not None:
+            try:  # run failed before the dump: leave no stray temp behind
+                os.unlink(trace_tmp)
+            except OSError:
+                pass
+
+
+def _probe_output(
+    path: str, prefix: str, suffix: str = "", keep: bool = False
+) -> tuple[str | None, str | None]:
+    """Atomic temp-file probe for one output path: ``(tmp, error)``.
+
+    Creates a temp file in ``path``'s directory — proving new files can
+    land there without ever touching a pre-existing file at ``path``, so
+    a run that later fails never truncates an earlier artifact.  With
+    ``keep=True`` the temp file survives for the caller to fill and
+    ``os.replace`` over ``path`` (the atomic-publish pattern the trace
+    dump uses); otherwise it is unlinked at once and only the error
+    matters.  This is the one probe every entry point (figure campaigns
+    and ``serve`` alike) routes ``--trace``/``--report`` through.
+    """
     directory = os.path.dirname(path) or "."
     try:
-        fd, probe = tempfile.mkstemp(dir=directory, prefix=".probe-")
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=prefix, suffix=suffix)
         os.close(fd)
-        os.unlink(probe)
     except OSError as exc:
-        return str(exc)
-    return None
+        return None, str(exc)
+    if not keep:
+        os.unlink(tmp)
+        return None, None
+    return tmp, None
+
+
+def _probe_cli_outputs(args: argparse.Namespace) -> tuple[str | None, int]:
+    """Fail fast on unwritable ``--trace``/``--report`` paths.
+
+    Returns ``(trace_tmp, exit_code)``; a non-zero exit code means a
+    probe failed (the error has been printed) and the caller should
+    return it.  ``trace_tmp`` is the kept temp file the trace dump will
+    be published through, or ``None`` when no trace was requested.
+    """
+    trace_tmp = None
+    if args.trace is not None:
+        trace_tmp, error = _probe_output(
+            args.trace, prefix=".trace-", suffix=".jsonl.tmp", keep=True
+        )
+        if error is not None:
+            print(f"cannot write trace file: {error}", file=sys.stderr)
+            return None, 2
+    if args.report is not None:
+        _, error = _probe_output(args.report, prefix=".probe-")
+        if error is not None:
+            if trace_tmp is not None:
+                os.unlink(trace_tmp)
+            print(f"cannot write report file: {error}", file=sys.stderr)
+            return None, 2
+    return trace_tmp, 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -334,34 +523,29 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc, _sim) in EXPERIMENTS.items():
             print(f"  {name:8s} {desc}")
         print("  stats    telemetry metrics table for everything run this invocation")
+        print("  serve    object-store serving workload with SLO latency report")
         print("  trace-report PATH   span analytics for an existing JSONL trace")
         return 0
 
     if names and names[0] == "trace-report":
         return _run_trace_report(names)
 
+    if "serve" in names:
+        if names != ["serve"]:
+            print(
+                "'serve' runs alone (it drives a live store, not a figure "
+                "campaign)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_serve(args)
+
     want_stats = "stats" in names
     names = [n for n in names if n != "stats"]
-    trace_tmp = None
-    if args.trace is not None:
-        # fail fast on an unwritable path — but via a temp file in the
-        # target directory, so a pre-existing trace is never truncated
-        # before the campaign has actually produced its replacement
-        directory = os.path.dirname(args.trace) or "."
-        try:
-            fd, trace_tmp = tempfile.mkstemp(
-                dir=directory, prefix=".trace-", suffix=".jsonl.tmp"
-            )
-            os.close(fd)
-        except OSError as exc:
-            print(f"cannot write trace file: {exc}", file=sys.stderr)
-            return 2
+    trace_tmp, code = _probe_cli_outputs(args)
+    if code:
+        return code
     try:
-        if args.report is not None:
-            error = _probe_writable(args.report)
-            if error is not None:
-                print(f"cannot write report file: {error}", file=sys.stderr)
-                return 2
         tracing = args.trace is not None or args.report is not None
         if want_stats or tracing or args.report is not None:
             telemetry.enable(
@@ -376,7 +560,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
             print(
                 f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats"
-                " | trace-report",
+                " | serve | trace-report",
                 file=sys.stderr,
             )
             return 2

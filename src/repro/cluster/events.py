@@ -168,6 +168,26 @@ class Simulator:
         """An event that fires once every listed event has fired."""
         return AllOf(self, list(events))
 
+    def step(self) -> bool:
+        """Fire the single next event; False when no real work remains.
+
+        One iteration of :meth:`run`'s loop — same pop order, same daemon
+        semantics (the clock stops advancing once only daemon events are
+        left).  This is the hook the asyncio façade
+        (:class:`repro.server.AsyncObjectStore`) uses to drive the
+        simulation from an ``await``: each awaited operation steps the
+        shared clock until its own completion event has fired.
+        """
+        if not self._heap or not self._pending:
+            return False
+        _t, _, daemon, event = heapq.heappop(self._heap)
+        if not daemon:
+            self._pending -= 1
+        self.now = _t
+        if not event.triggered:
+            event.succeed(event.value)
+        return True
+
     def run(self, until: float | None = None) -> None:
         """Execute events in time order until only daemon events remain
         in the heap (or the clock passes ``until``)."""

@@ -1,0 +1,411 @@
+"""Open-loop workload generation against the object store (YCSB-style).
+
+The generator is **open-loop by default**: request arrival times are a
+Poisson process at the target rate, drawn *up front* from the workload
+seed, and every request's latency is measured from its **intended
+arrival time** — not from when a worker got around to dispatching it.
+That distinction is the classic *coordinated omission* trap: a
+closed-loop driver (fixed worker pool, next request only after the last
+completes) silently stops sending while the system is slow, so the slow
+period contributes one sample instead of the hundreds a real user
+population would have experienced.  Open-loop arrivals keep sending on
+schedule, which makes queueing delay — and therefore the p99/p999 the
+SLO cares about — real.
+
+``mode="closed"`` is available for exactly that comparison: a fixed pool
+of workers issuing back-to-back requests, latency measured from
+dispatch.  Its percentiles are *service* time under self-throttled load,
+not user-visible response time; ``docs/serving.md`` walks through the
+difference.
+
+Everything is deterministic: one ``numpy`` Generator seeded from the
+spec draws the whole schedule (times, op mix, key ranks) before the
+clock starts, and the simulator breaks ties by scheduling order — the
+same seed replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..chaos.faults import ChaosConfig, PartitionError
+from ..cluster.client import DeadNodeError
+from ..cluster.events import FIFOResource
+from ..telemetry import METRICS, SNAPSHOTS
+from .store import ObjectStore, ServerConfig
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "WorkloadSpec",
+    "Arrival",
+    "generate_arrivals",
+    "ServingResult",
+    "run_serving",
+]
+
+DISTRIBUTIONS = ("zipfian", "latest", "uniform")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Knobs of one serving workload (the YCSB-shaped surface).
+
+    Attributes
+    ----------
+    target_ops:
+        Offered load in operations per second (the Poisson rate).
+    duration:
+        Simulated seconds of arrivals.
+    read_fraction:
+        Probability each operation is a get (the rest are puts).
+    distribution:
+        Key popularity: ``zipfian`` (rank-frequency with
+        :attr:`zipf_theta`), ``latest`` (zipfian over recency — the most
+        recently *written* keys are hottest), ``uniform``.
+    zipf_theta:
+        Zipfian skew (YCSB's default 0.99).
+    num_objects:
+        Working-set size preloaded before the clock starts.
+    object_size:
+        Bytes per object (``None`` = exactly one stripe).
+    seed:
+        Drives the whole arrival schedule *and* the store's failure
+        injector; same seed → byte-identical replay.
+    connections:
+        Optional frontend connection pool: at most this many requests in
+        service at once (arrivals past the limit queue, which is where
+        open-loop latency diverges from service time).  ``None`` =
+        unbounded.
+    mode:
+        ``open`` (default) or ``closed`` (fixed worker pool, see module
+        docstring).
+    workers:
+        Closed-loop pool size (ignored in open mode).
+    """
+
+    target_ops: float = 200.0
+    duration: float = 10.0
+    read_fraction: float = 0.95
+    distribution: str = "zipfian"
+    zipf_theta: float = 0.99
+    num_objects: int = 64
+    object_size: float | None = None
+    seed: int = 7
+    connections: int | None = None
+    mode: str = "open"
+    workers: int = 8
+
+    def __post_init__(self):
+        if self.target_ops <= 0:
+            raise ValueError("target_ops must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; pick from {DISTRIBUTIONS}"
+            )
+        if self.num_objects < 1:
+            raise ValueError("need at least one object")
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {self.mode!r}")
+        if self.connections is not None and self.connections < 1:
+            raise ValueError("connections must be at least 1 (or None)")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: when, what, and which popularity rank.
+
+    ``rank`` is a *popularity rank* (0 = hottest), resolved to a key at
+    dispatch time — identity order for zipfian/uniform, recency order
+    (most recently written first) for ``latest``.
+    """
+
+    time: float
+    op: str  # "get" | "put"
+    rank: int
+
+
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """Cumulative rank-popularity for a zipfian(θ) over ``n`` items."""
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), theta)
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+def generate_arrivals(spec: WorkloadSpec) -> list[Arrival]:
+    """The full deterministic request schedule for one workload.
+
+    Inter-arrival gaps are exponential(1/target_ops) — a Poisson process
+    — and every random draw (gap, op type, key rank) comes from one
+    seeded generator in a fixed order, so the schedule is a pure function
+    of the spec.
+    """
+    rng = np.random.default_rng(spec.seed)
+    cdf = None
+    if spec.distribution in ("zipfian", "latest"):
+        cdf = _zipf_cdf(spec.num_objects, spec.zipf_theta)
+    arrivals: list[Arrival] = []
+    mean_gap = 1.0 / spec.target_ops
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mean_gap))
+        if t >= spec.duration:
+            break
+        op = "get" if float(rng.random()) < spec.read_fraction else "put"
+        if cdf is not None:
+            rank = int(np.searchsorted(cdf, float(rng.random()), side="right"))
+            rank = min(rank, spec.num_objects - 1)
+        else:
+            rank = int(rng.integers(spec.num_objects))
+        arrivals.append(Arrival(time=t, op=op, rank=rank))
+    return arrivals
+
+
+def _exact_percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile over the raw samples (no bucketing)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def _latency_summary(samples: list[float]) -> dict:
+    """count/mean/p50/p99/p999/max over exact samples (SLO accounting)."""
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": _exact_percentile(samples, 0.50),
+        "p99": _exact_percentile(samples, 0.99),
+        "p999": _exact_percentile(samples, 0.999),
+        "max": max(samples),
+    }
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced (exact latency samples kept).
+
+    Latency lists hold *end-to-end* response times: intended arrival →
+    completion in open mode (coordinated-omission-free), dispatch →
+    completion in closed mode.  ``degraded_latencies`` is the subset of
+    get latencies whose object had at least one lost chunk at dispatch.
+    """
+
+    scheme: str
+    spec: WorkloadSpec
+    offered: int = 0
+    completed: int = 0
+    failed: int = 0
+    get_latencies: list[float] = field(default_factory=list)
+    put_latencies: list[float] = field(default_factory=list)
+    degraded_latencies: list[float] = field(default_factory=list)
+    repair_latencies: list[float] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    unrecoverable: list = field(default_factory=list)
+    sim_time: float = 0.0
+    chaos: dict | None = None
+
+    @property
+    def achieved_ops(self) -> float:
+        """Completed operations per simulated second."""
+        return self.completed / self.sim_time if self.sim_time > 0 else 0.0
+
+    def percentile(self, which: str, q: float) -> float:
+        """Exact latency percentile for ``get``/``put``/``degraded_read``/``repair``."""
+        samples = {
+            "get": self.get_latencies,
+            "put": self.put_latencies,
+            "degraded": self.degraded_latencies,
+            "degraded_read": self.degraded_latencies,
+            "repair": self.repair_latencies,
+        }[which]
+        return _exact_percentile(samples, q)
+
+    def to_dict(self) -> dict:
+        """The ``serving`` section of a ``repro.report/v1`` report."""
+        return {
+            "scheme": self.scheme,
+            "workload": asdict(self.spec),
+            "offered": self.offered,
+            "completed": self.completed,
+            "failed": self.failed,
+            "achieved_ops": self.achieved_ops,
+            "sim_time": self.sim_time,
+            "latency": {
+                "get": _latency_summary(self.get_latencies),
+                "put": _latency_summary(self.put_latencies),
+                "degraded_read": _latency_summary(self.degraded_latencies),
+                "repair": _latency_summary(self.repair_latencies),
+            },
+            "counts": dict(self.stats),
+            "unrecoverable": list(self.unrecoverable),
+            "chaos": self.chaos,
+        }
+
+    def render(self) -> str:
+        """Human-readable SLO table."""
+        from ..experiments.runner import format_table
+
+        rows = []
+        for label, samples in (
+            ("get", self.get_latencies),
+            ("put", self.put_latencies),
+            ("degraded read", self.degraded_latencies),
+            ("repair", self.repair_latencies),
+        ):
+            s = _latency_summary(samples)
+            rows.append(
+                [label, s["count"], s["mean"], s["p50"], s["p99"], s["p999"], s["max"]]
+            )
+        table = format_table(
+            ["op", "count", "mean (s)", "p50", "p99", "p999", "max"],
+            rows,
+            title=(
+                f"serving [{self.scheme}] {self.spec.mode}-loop "
+                f"{self.spec.distribution} target={self.spec.target_ops:g} ops/s "
+                f"achieved={self.achieved_ops:.1f} ops/s "
+                f"(offered {self.offered}, failed {self.failed})"
+            ),
+        )
+        extras = (
+            f"degraded reads: {self.stats.get('degraded_reads', 0)}  "
+            f"piggybacked: {self.stats.get('piggybacked_reads', 0)}  "
+            f"chunk failures: {self.stats.get('chunk_failures', 0)}  "
+            f"repairs: {self.stats.get('repairs', 0)}  "
+            f"unrecoverable: {len(self.unrecoverable)}"
+        )
+        return table + "\n" + extras
+
+
+def _attach_snapshots(store: ObjectStore, result: ServingResult) -> None:
+    """Sim-time probes for the serving run (read-only, daemon-sampled)."""
+    scheduler = store.cluster.scheduler
+    probes = {
+        "completed_ops": lambda: float(result.completed),
+        "degraded_outstanding": lambda: float(len(store.failed_blocks)),
+        "repair_queue_depth": lambda: float(scheduler.queue_depth),
+        "nic_in_flight": lambda: float(
+            sum(n.nic.queue_depth for n in store.cluster.nodes)
+        ),
+    }
+    SNAPSHOTS.sample_into(store.sim, f"serve/{store.scheme.name}", probes)
+
+
+def run_serving(
+    spec: WorkloadSpec,
+    config: ServerConfig | None = None,
+    chaos: ChaosConfig | None = None,
+) -> ServingResult:
+    """Drive one seeded workload against a fresh store; returns the result.
+
+    Builds the store, preloads the working set, optionally overlays a
+    chaos campaign, arms the failure injector, replays the precomputed
+    arrival schedule, and collects SLO-grade latency.  Two independent
+    seeds keep concerns separate: ``spec.seed`` owns the workload and
+    injector draws, ``chaos.seed`` (when given) owns the fault schedule.
+    """
+    config = config or ServerConfig()
+    store = ObjectStore(config, seed=spec.seed)
+    result = ServingResult(scheme=store.scheme.name, spec=spec)
+    keys = store.preload(spec.num_objects, spec.object_size)
+    #: most-recently-written last; ``latest`` reads it back to front
+    recency: list[str] = list(keys)
+    if chaos is not None:
+        store.attach_chaos(chaos, horizon=spec.duration)
+    store.start_failure_injector()
+    sim = store.sim
+    if SNAPSHOTS.enabled:
+        _attach_snapshots(store, result)
+
+    pool = (
+        FIFOResource(sim, name="frontend-conns", capacity=spec.connections)
+        if spec.connections is not None
+        else None
+    )
+    arrivals = generate_arrivals(spec)
+    result.offered = len(arrivals)
+
+    def resolve(arrival: Arrival) -> str:
+        if spec.distribution == "latest":
+            return recency[len(recency) - 1 - arrival.rank]
+        return keys[arrival.rank]
+
+    def perform(arrival: Arrival, started_at: float):
+        """Run one op and account its latency from ``started_at``."""
+        key = resolve(arrival)
+        try:
+            if arrival.op == "get":
+                facts = yield from store.get_op(key)
+            else:
+                facts = yield from store.put_op(key, spec.object_size)
+                recency.remove(key)
+                recency.append(key)
+        except (PartitionError, DeadNodeError):
+            result.failed += 1
+            if METRICS.enabled:
+                METRICS.counter("server.requests.failed", unit="requests").inc()
+            return
+        latency = sim.now - started_at
+        result.completed += 1
+        if arrival.op == "get":
+            result.get_latencies.append(latency)
+            if facts["degraded"]:
+                result.degraded_latencies.append(latency)
+                if METRICS.enabled:
+                    METRICS.histogram("server.latency.degraded_read", unit="s").observe(
+                        latency
+                    )
+        else:
+            result.put_latencies.append(latency)
+        if METRICS.enabled:
+            METRICS.histogram(f"server.latency.{arrival.op}", unit="s").observe(latency)
+
+    def open_request(arrival: Arrival):
+        yield sim.timeout(arrival.time)
+        # Latency clock starts at the INTENDED arrival, before any queueing
+        # for a connection — the coordinated-omission-free measurement.
+        if pool is not None:
+            yield pool.acquire()
+        try:
+            yield from perform(arrival, started_at=arrival.time)
+        finally:
+            if pool is not None:
+                pool.release()
+
+    def closed_worker(cursor: dict):
+        while cursor["next"] < len(arrivals):
+            arrival = arrivals[cursor["next"]]
+            cursor["next"] += 1
+            # Closed loop: the clock starts at dispatch — by construction
+            # this hides queueing the worker itself caused by not sending.
+            yield from perform(arrival, started_at=sim.now)
+
+    if spec.mode == "open":
+        for arrival in arrivals:
+            sim.process(open_request(arrival))
+    else:
+        cursor = {"next": 0}
+        for _ in range(min(spec.workers, len(arrivals))):
+            sim.process(closed_worker(cursor))
+    sim.run()
+
+    result.sim_time = sim.now
+    result.repair_latencies = list(store.repair_latencies)
+    result.stats = dict(store.stats)
+    result.unrecoverable = list(store.unrecoverable)
+    if store.chaos_engine is not None:
+        result.chaos = store.chaos_engine.summary()
+    if METRICS.enabled:
+        METRICS.gauge("server.achieved_ops", unit="ops/s").set(result.achieved_ops)
+    return result

@@ -1,0 +1,600 @@
+"""The object-store façade: put/get/delete over the simulated cluster.
+
+This is the serving layer ROADMAP item 1 calls for — the piece that turns
+"latency of one reconstruction" into "p99 of a user request".  An
+:class:`ObjectStore` maps named objects onto stripes (object → stripes →
+chunks), places each stripe through the namenode, and executes every
+operation against the same discrete-event substrate the figure
+experiments use:
+
+* **put** — each stripe of the object is encoded and written through a
+  frontend client (full-stripe writes, HDFS write-once semantics);
+* **get** — healthy data chunks stream back in one fan-out read; chunks
+  that are currently lost take the *degraded-read* path: ride the repair
+  already rebuilding them (:meth:`RecoveryScheduler.ride`) or, when no
+  such job is in flight, reconstruct just for this read;
+* **delete** — a namenode metadata operation; no data I/O.
+
+Background repair is the cluster's own risk-ordered
+:class:`~repro.cluster.RecoveryScheduler`; a seeded Poisson chunk-failure
+injector (and/or a chaos profile attached with :meth:`attach_chaos`)
+provides the erasures.  Everything shares one simulated clock, so
+foreground requests genuinely queue behind repair traffic.
+
+:class:`AsyncObjectStore` wraps the store in ``async`` methods: each
+awaited operation drives the shared simulator one event at a time
+(:meth:`~repro.cluster.events.Simulator.step`), yielding to the asyncio
+loop between events, so the façade is usable from ordinary ``await``
+code while staying deterministic for a fixed seed and call order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chaos.engine import ChaosEngine
+from ..chaos.faults import ChaosConfig
+from ..cluster.client import Client
+from ..cluster.cluster import Cluster, ClusterConfig, _split_plans
+from ..cluster.recovery import RecoveryError
+from ..fusion.costmodel import SystemProfile
+from ..hybrid.planners import SchemePlanner
+from ..hybrid.plans import OpPlan, PlanKind
+from ..telemetry import METRICS, TRACER
+
+__all__ = ["ServerConfig", "ObjectMeta", "ObjectStore", "AsyncObjectStore"]
+
+#: Schemes the server can front (same contenders as the figure experiments).
+SERVER_SCHEMES = ("RS", "MSR", "LRC", "HACFS", "EC-Fusion")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Shape of the serving cluster and its striping policy.
+
+    The defaults are sized for *request serving*, not figure replay: a
+    256 KiB chunk keeps a single object transfer well under the 1 Gbps
+    frontend NIC's second-scale territory, and six frontends spread the
+    coordinator funnel so ~500 ops/s is actually attainable (one
+    frontend NIC at 125 MB/s caps out near 115 one-stripe gets/s).
+
+    Attributes
+    ----------
+    scheme:
+        One of ``RS``/``MSR``/``LRC``/``HACFS``/``EC-Fusion``.
+    k, r:
+        Stripe shape (data/parity chunks).
+    chunk_size:
+        Bytes per chunk (the serving γ); objects stripe across
+        ``k · chunk_size`` bytes per stripe.
+    num_nodes, racks:
+        Cluster size and failure domains (rack-aware placement).
+    frontends:
+        Independent client coordinators; requests round-robin across
+        them, so this is the store's aggregate ingest/egress width.
+    failure_rate:
+        Expected chunk failures per simulated second injected by the
+        seeded Poisson failure process (0 disables injection; a chaos
+        profile can still supply faults).
+    metadata_latency:
+        Seconds per namenode round trip, charged to every operation.
+    pipeline_chunk:
+        Optional ECPipe-style repair chunking (bytes), as in
+        :class:`~repro.cluster.ClusterConfig`.
+    """
+
+    scheme: str = "EC-Fusion"
+    k: int = 4
+    r: int = 2
+    chunk_size: float = 256 * 1024.0
+    num_nodes: int = 12
+    racks: int = 3
+    frontends: int = 6
+    failure_rate: float = 0.0
+    metadata_latency: float = 200e-6
+    pipeline_chunk: float | None = None
+    max_repairs_per_node: int = 2
+
+    def __post_init__(self):
+        if self.scheme not in SERVER_SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; pick from {SERVER_SCHEMES}")
+        if self.k < 2 or self.r < 1:
+            raise ValueError("need k >= 2 data and r >= 1 parity chunks")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.frontends < 1:
+            raise ValueError("at least one frontend required")
+        if self.failure_rate < 0:
+            raise ValueError("failure_rate must be non-negative")
+
+    @property
+    def profile(self) -> SystemProfile:
+        """Platform constants with γ pinned to the serving chunk size."""
+        return SystemProfile().with_gamma(self.chunk_size)
+
+    @property
+    def stripe_bytes(self) -> float:
+        """User bytes per stripe."""
+        return self.k * self.chunk_size
+
+    def cluster_config(self) -> ClusterConfig:
+        """The matching cluster shape (repair scheduler always on)."""
+        return ClusterConfig(
+            num_nodes=self.num_nodes,
+            profile=self.profile,
+            racks=self.racks,
+            repair_scheduler=True,
+            pipeline_chunk=self.pipeline_chunk,
+            max_repairs_per_node=self.max_repairs_per_node,
+        )
+
+    def make_scheme(self) -> SchemePlanner:
+        """A fresh planner instance for :attr:`scheme` at the serving γ."""
+        from ..hybrid import (
+            ECFusionPlanner,
+            HACFSPlanner,
+            LRCPlanner,
+            MSRPlanner,
+            RSPlanner,
+        )
+
+        k, r, g = self.k, self.r, self.chunk_size
+        if self.scheme == "RS":
+            return RSPlanner(k, r, g)
+        if self.scheme == "MSR":
+            return MSRPlanner(k, r, g)
+        if self.scheme == "LRC":
+            return LRCPlanner(k, 2, 2, g)
+        if self.scheme == "HACFS":
+            return HACFSPlanner(k, g)
+        return ECFusionPlanner(k, r, g, profile=self.profile)
+
+
+@dataclass(frozen=True)
+class ObjectMeta:
+    """Namenode-side record of one stored object."""
+
+    key: str
+    size: float
+    stripes: tuple[int, ...]
+    created: float
+
+
+class ObjectStore:
+    """Striped objects over the simulated cluster (see module docstring).
+
+    Operations are *generator processes* against the store's simulator:
+    drive them with ``yield from`` inside another process, with
+    ``sim.process(...)`` + ``sim.run()``, or through
+    :class:`AsyncObjectStore`.  Each returns a small dict of facts about
+    the completed operation (``latency``, and for gets ``degraded`` /
+    ``piggybacked``).
+    """
+
+    def __init__(self, config: ServerConfig | None = None, seed: int = 0):
+        self.config = config or ServerConfig()
+        self.scheme = self.config.make_scheme()
+        self.cluster = Cluster(self.config.cluster_config(), width=self.scheme.width)
+        self.sim = self.cluster.sim
+        cfg = self.cluster.config
+        p = cfg.profile
+        #: client coordinators requests round-robin across; the cluster's
+        #: own client is frontend 0 so single-frontend stores match it
+        self.frontends: list[Client] = [self.cluster.client] + [
+            Client(
+                self.sim,
+                self.cluster.executor,
+                alpha=p.alpha,
+                net_bandwidth=p.lam,
+                net_latency=cfg.net_latency,
+            )
+            for _ in range(self.config.frontends - 1)
+        ]
+        self._rr = 0
+        #: chunks currently lost ((stripe, block)); the scheduler reads it
+        #: for risk ordering, gets consult it for the degraded path
+        self.failed_blocks: set[tuple] = set()
+        assert self.cluster.scheduler is not None  # repair_scheduler=True
+        self.cluster.scheduler.failed_blocks = self.failed_blocks
+        self.objects: dict[str, ObjectMeta] = {}
+        self._next_stripe = 0
+        self._rng = np.random.default_rng(seed)
+        self._clock = lambda: self.sim.now
+        self.chaos_engine: ChaosEngine | None = None
+        # served/latency accounting (exact samples; histograms are coarse)
+        self.stats = {
+            "puts": 0,
+            "gets": 0,
+            "deletes": 0,
+            "degraded_reads": 0,
+            "piggybacked_reads": 0,
+            "chunk_failures": 0,
+            "repairs": 0,
+        }
+        self.repair_latencies: list[float] = []
+        self.conversion_latencies: list[float] = []
+        #: chunks the store gave up repairing (stripe/block/reason/time)
+        self.unrecoverable: list[dict] = []
+
+    # -- plumbing ------------------------------------------------------------
+    def _frontend(self) -> Client:
+        client = self.frontends[self._rr]
+        self._rr = (self._rr + 1) % len(self.frontends)
+        return client
+
+    def _alloc_stripe(self) -> int:
+        stripe = self._next_stripe
+        self._next_stripe += 1
+        self.cluster.namenode.lookup(stripe)  # pin placement now
+        return stripe
+
+    def _forget(self, meta: ObjectMeta) -> None:
+        """Drop an object's stripes (ids are never reused)."""
+        gone = set(meta.stripes)
+        self.failed_blocks.difference_update(
+            {fb for fb in self.failed_blocks if fb[0] in gone}
+        )
+
+    def _convert(self, stripe: int, conversions: list[OpPlan], via_recovery: bool):
+        """Run an adaptive scheme's code conversion, journalled under chaos."""
+        chaos_state = self.cluster.executor.chaos
+        if chaos_state is not None:
+            chaos_state.begin_conversion(stripe, self.cluster.namenode)
+        committed = False
+        try:
+            with METRICS.timer("server.service.conversion", clock=self._clock) as t:
+                if via_recovery:
+                    yield self.sim.process(
+                        self.cluster.recovery.submit(conversions, stripe)
+                    )
+                else:
+                    yield self.sim.process(self._frontend().submit(conversions, stripe))
+            committed = True
+        finally:
+            if chaos_state is not None:
+                chaos_state.end_conversion(
+                    stripe, self.cluster.namenode, committed=committed
+                )
+        self.conversion_latencies.append(t.elapsed)
+        if METRICS.enabled:
+            METRICS.counter("server.conversions", unit="conversions").inc()
+
+    # -- operations ----------------------------------------------------------
+    def put_op(self, key: str, size: float | None = None):
+        """Store (or overwrite) ``key``; returns ``{"latency": ...}``.
+
+        The object stripes across ``ceil(size / (k·chunk_size))`` fresh
+        stripes — overwrites allocate new stripes and retire the old ones,
+        so a rewrite never races the repair of a chunk it just replaced.
+        """
+        size = float(size) if size is not None else self.config.stripe_bytes
+        if size <= 0:
+            raise ValueError("object size must be positive")
+        nstripes = max(1, math.ceil(size / self.config.stripe_bytes))
+        start = self.sim.now
+        yield self.sim.timeout(self.config.metadata_latency)
+        stripes = tuple(self._alloc_stripe() for _ in range(nstripes))
+        with METRICS.timer("server.service.put", clock=self._clock):
+            for stripe in stripes:
+                plans = self.scheme.plan_write(stripe)
+                conversions, main = _split_plans(plans)
+                if conversions:
+                    yield from self._convert(stripe, conversions, via_recovery=False)
+                yield self.sim.process(self._frontend().submit(main, stripe))
+        old = self.objects.get(key)
+        if old is not None:
+            self._forget(old)
+        self.objects[key] = ObjectMeta(
+            key=key, size=size, stripes=stripes, created=self.sim.now
+        )
+        self.stats["puts"] += 1
+        latency = self.sim.now - start
+        if METRICS.enabled:
+            METRICS.counter("server.requests.put", unit="requests").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "server-put",
+                ts=self.sim.now,
+                key=key,
+                stripes=len(stripes),
+                latency=latency,
+            )
+        return {"latency": latency}
+
+    def _read_lost_chunk(self, stripe: int, block: int):
+        """Degraded read of one lost data chunk; returns True if it rode.
+
+        Mirrors the cluster driver's ``ride_repair``: join the repair job
+        already rebuilding the chunk when one is queued or running (a
+        queued job gets boosted); reconstruct just for this read when
+        there is none, or when the ridden job gives up.
+        """
+        plans = None
+        rode = False
+        ride = self.cluster.scheduler.ride(stripe, block)
+        if ride is not None:
+            try:
+                yield ride
+                plans = self.scheme.plan_read(stripe, block)
+                rode = True
+            except RecoveryError:
+                plans = None  # the repair gave up; reconstruct after all
+        if plans is None:
+            plans = self.scheme.plan_degraded_read(stripe, block)
+        conversions, main = _split_plans(plans)
+        if conversions:
+            yield from self._convert(stripe, conversions, via_recovery=False)
+        yield self.sim.process(self._frontend().submit(main, stripe))
+        return rode
+
+    def get_op(self, key: str):
+        """Read the whole object behind ``key``.
+
+        Returns ``{"latency", "degraded", "piggybacked"}`` — a get is
+        *degraded* when any of its chunks was lost at dispatch time, and
+        ``piggybacked`` counts chunks served by riding in-flight repairs.
+        """
+        meta = self.objects.get(key)
+        if meta is None:
+            raise KeyError(f"no object {key!r}")
+        start = self.sim.now
+        yield self.sim.timeout(self.config.metadata_latency)
+        degraded = False
+        piggybacked = 0
+        chunk = self.config.chunk_size
+        chaos_state = self.cluster.executor.chaos
+        with METRICS.timer("server.service.get", clock=self._clock):
+            for stripe in meta.stripes:
+                # A chunk is unreadable when it is erased *or* its node is
+                # currently unreachable — reconstruct around a partition
+                # instead of stalling the whole get on one dark node.
+                placement = self.cluster.namenode.lookup(stripe).placement
+                unreachable = {
+                    b
+                    for b in range(self.config.k)
+                    if not self.cluster.nodes[placement[b]].alive
+                    or (
+                        chaos_state is not None
+                        and chaos_state.is_partitioned(placement[b])
+                    )
+                }
+                lost = sorted(
+                    {
+                        b
+                        for s, b in self.failed_blocks
+                        if s == stripe and b < self.config.k
+                    }
+                    | unreachable
+                )
+                if lost:
+                    degraded = True
+                    self.stats["degraded_reads"] += 1
+                    if METRICS.enabled:
+                        METRICS.counter(
+                            "server.degraded_reads", unit="requests"
+                        ).inc()
+                    for block in lost:
+                        rode = yield from self._read_lost_chunk(stripe, block)
+                        if rode:
+                            piggybacked += 1
+                            self.stats["piggybacked_reads"] += 1
+                            if METRICS.enabled:
+                                METRICS.counter(
+                                    "server.piggybacked_reads", unit="requests"
+                                ).inc()
+                healthy = [b for b in range(self.config.k) if b not in lost]
+                if healthy:
+                    # planner hook first: adaptive schemes track read heat
+                    # (and may demand a conversion) via plan_read
+                    plans = self.scheme.plan_read(stripe, healthy[0])
+                    conversions, _ = _split_plans(plans)
+                    if conversions:
+                        yield from self._convert(stripe, conversions, via_recovery=False)
+                    fanout = OpPlan(
+                        kind=PlanKind.READ, reads={b: chunk for b in healthy}
+                    )
+                    yield self.sim.process(self._frontend().submit([fanout], stripe))
+        self.stats["gets"] += 1
+        latency = self.sim.now - start
+        if METRICS.enabled:
+            METRICS.counter("server.requests.get", unit="requests").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "server-get",
+                ts=self.sim.now,
+                key=key,
+                latency=latency,
+                degraded=degraded,
+                piggybacked=piggybacked,
+            )
+        return {"latency": latency, "degraded": degraded, "piggybacked": piggybacked}
+
+    def delete_op(self, key: str):
+        """Unlink ``key`` — a pure namenode metadata operation (no data I/O)."""
+        if key not in self.objects:
+            raise KeyError(f"no object {key!r}")
+        start = self.sim.now
+        yield self.sim.timeout(self.config.metadata_latency)
+        meta = self.objects.pop(key, None)
+        if meta is not None:
+            self._forget(meta)
+        self.stats["deletes"] += 1
+        if METRICS.enabled:
+            METRICS.counter("server.requests.delete", unit="requests").inc()
+        return {"latency": self.sim.now - start}
+
+    # -- preload -------------------------------------------------------------
+    def preload(
+        self, num_objects: int, object_size: float | None = None, prefix: str = "obj-"
+    ) -> list[str]:
+        """Register ``num_objects`` objects instantly (no simulated I/O).
+
+        The working set a load generator reads from has to exist before
+        the clock starts; preloading registers placements and metadata at
+        t=0 rather than simulating a bulk ingest nobody measures.
+        """
+        size = float(object_size) if object_size is not None else self.config.stripe_bytes
+        nstripes = max(1, math.ceil(size / self.config.stripe_bytes))
+        keys = []
+        for i in range(num_objects):
+            key = f"{prefix}{i:05d}"
+            stripes = tuple(self._alloc_stripe() for _ in range(nstripes))
+            self.objects[key] = ObjectMeta(
+                key=key, size=size, stripes=stripes, created=self.sim.now
+            )
+            keys.append(key)
+        return keys
+
+    # -- background failure + repair ----------------------------------------
+    def _repair(self, stripe: int, block: int):
+        """One supervised reconstruction through the risk-ordered scheduler."""
+        plans = self.scheme.plan_recovery(stripe, block)
+        conversions, main = _split_plans(plans)
+        try:
+            if conversions:
+                yield from self._convert(stripe, conversions, via_recovery=True)
+            with METRICS.timer("server.service.repair", clock=self._clock) as t:
+                yield self.cluster.scheduler.submit(main, stripe, block)
+        except RecoveryError as exc:
+            self.unrecoverable.append(
+                {"stripe": stripe, "block": block, "reason": str(exc), "time": self.sim.now}
+            )
+            if METRICS.enabled:
+                METRICS.counter("server.repair.failures", unit="jobs").inc()
+            if TRACER.enabled:
+                TRACER.emit(
+                    "repair-failed", ts=self.sim.now, stripe=stripe, block=block,
+                    reason=str(exc),
+                )
+            return
+        self.failed_blocks.discard((stripe, block))
+        chaos_state = self.cluster.executor.chaos
+        if chaos_state is not None:
+            chaos_state.repair_chunk(stripe, block)
+        self.stats["repairs"] += 1
+        self.repair_latencies.append(t.elapsed)
+        if METRICS.enabled:
+            METRICS.counter("server.repairs", unit="jobs").inc()
+
+    def _inject_one_failure(self) -> bool:
+        """Lose one random data chunk (within erasure tolerance)."""
+        live = [s for meta in self.objects.values() for s in meta.stripes]
+        if not live:
+            return False
+        stripe = live[int(self._rng.integers(len(live)))]
+        block = int(self._rng.integers(self.config.k))
+        if (stripe, block) in self.failed_blocks:
+            return False
+        erasures = sum(1 for s, _b in self.failed_blocks if s == stripe)
+        if erasures >= self.config.r:
+            return False  # never exceed what the code tolerates
+        self.failed_blocks.add((stripe, block))
+        self.stats["chunk_failures"] += 1
+        if METRICS.enabled:
+            METRICS.counter("server.chunk_failures", unit="chunks").inc()
+        if TRACER.enabled:
+            TRACER.emit("chunk-failure", ts=self.sim.now, stripe=stripe, block=block)
+        self.sim.process(self._repair(stripe, block))
+        return True
+
+    def start_failure_injector(self) -> None:
+        """Arm the seeded Poisson chunk-failure process (a daemon).
+
+        Failures fire only while foreground work keeps the simulation
+        alive, so the injector never extends a run on its own.
+        """
+        rate = self.config.failure_rate
+        if rate <= 0:
+            return
+
+        def injector():
+            while True:
+                gap = float(self._rng.exponential(1.0 / rate))
+                yield self.sim.timeout(gap, daemon=True)
+                self._inject_one_failure()
+
+        self.sim.process(injector(), daemon=True)
+
+    # -- chaos ----------------------------------------------------------------
+    def attach_chaos(
+        self, config: ChaosConfig, horizon: float | None = None
+    ) -> ChaosEngine:
+        """Overlay a seeded chaos campaign on the serving cluster.
+
+        Stragglers derate resources, partitions stall frontends and repair
+        helpers, and scrubber-detected corruption feeds the same repair
+        path the failure injector uses.  Attach *after* preloading so the
+        schedule can target live stripes.
+
+        ``horizon`` compresses the profile's fault window to fit a
+        serving run: profiles default to a 120 s horizon, so a 10 s run
+        would otherwise dodge most of the storm it asked for.
+        """
+        if horizon is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, profile=replace(config.resolved(), horizon=horizon)
+            )
+        engine = ChaosEngine(
+            config,
+            self.cluster,
+            self.scheme,
+            failed_blocks=self.failed_blocks,
+            num_stripes=max(1, self.cluster.namenode.stripe_count),
+        )
+        self.cluster.executor.chaos = engine.state
+
+        def on_detected(stripe, slot):
+            self.failed_blocks.add((stripe, slot))
+            self.sim.process(self._repair(stripe, slot))
+
+        engine.on_corruption_detected = on_detected
+        engine.attach()
+        self.chaos_engine = engine
+        return engine
+
+
+class AsyncObjectStore:
+    """``async`` façade over an :class:`ObjectStore`.
+
+    Each awaited call starts the operation as a simulator process and
+    then *drives the shared clock itself*: one
+    :meth:`~repro.cluster.events.Simulator.step` per asyncio tick until
+    the operation's completion event fires.  Concurrent awaits interleave
+    on the same clock (whoever is scheduled steps next, every step
+    advances everyone's events), so ``asyncio.gather`` of several puts
+    genuinely overlaps them in simulated time.
+    """
+
+    def __init__(self, store: ObjectStore | None = None, **store_kwargs):
+        self.store = store if store is not None else ObjectStore(**store_kwargs)
+        self.sim = self.store.sim
+
+    async def _drive(self, gen):
+        proc = self.sim.process(gen)
+        while not proc.triggered:
+            if not self.sim.step():
+                raise RuntimeError(
+                    "simulation stalled before the operation completed"
+                )
+            await asyncio.sleep(0)  # cooperate with other awaited operations
+        if proc.exc is not None:
+            raise proc.exc
+        return proc.value
+
+    async def put(self, key: str, size: float | None = None) -> dict:
+        """Store an object; resolves to the operation's fact dict."""
+        return await self._drive(self.store.put_op(key, size))
+
+    async def get(self, key: str) -> dict:
+        """Read an object (degraded chunks included); resolves to facts."""
+        return await self._drive(self.store.get_op(key))
+
+    async def delete(self, key: str) -> dict:
+        """Unlink an object."""
+        return await self._drive(self.store.delete_op(key))

@@ -112,6 +112,7 @@ def build_report(
     experiments: list[str] | None = None,
     config: dict | None = None,
     span_top: int = 5,
+    extra: dict | None = None,
 ) -> dict:
     """Assemble the versioned campaign report as one JSON-ready dict.
 
@@ -121,12 +122,17 @@ def build_report(
     * ``metrics`` — ``registry.snapshot()``, every counter/gauge/histogram;
     * ``snapshots`` — the sim-time series (see ``docs/telemetry.md``);
     * ``spans`` — trace analytics from the buffered events.
+
+    ``extra`` adds caller-owned top-level sections (the ``serve``
+    command's ``serving`` block rides in this way); extra keys may not
+    shadow the built-in sections — the schema stays ``v1`` because the
+    additions are strictly additive.
     """
     registry = registry if registry is not None else METRICS
     tracer = tracer if tracer is not None else TRACER
     snapshots = snapshots if snapshots is not None else SNAPSHOTS
     analysis = analyze_events(ev.to_dict() for ev in tracer.events)
-    return {
+    report = {
         "schema": REPORT_SCHEMA,
         "experiments": list(experiments or []),
         "config": config,
@@ -135,6 +141,11 @@ def build_report(
         "spans": analysis.to_dict(top=span_top),
         "trace": {"events": len(tracer.events), "dropped": tracer.dropped},
     }
+    for key, section in (extra or {}).items():
+        if key in report:
+            raise ValueError(f"extra section {key!r} shadows a built-in report section")
+        report[key] = section
+    return report
 
 
 def write_report(path, report: dict) -> None:

@@ -174,3 +174,56 @@ class TestMainModule:
         )
         assert proc.returncode == 0, proc.stderr[-500:]
         assert "Fig. 13" in proc.stdout
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--target-ops", "120", "--duration", "2", "--objects", "16"]
+
+    def test_serve_runs_and_prints_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out.lower() or "ops" in out.lower()
+
+    def test_serve_report_has_slo_section(self, tmp_path):
+        report = tmp_path / "serve.json"
+        assert main(self.ARGS + ["--report", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.report/v1"
+        assert doc["experiments"] == ["serve"]
+        serving = doc["serving"]
+        assert serving["offered"] > 0
+        for op in ("get", "put", "degraded_read"):
+            for stat in ("p50", "p99", "p999"):
+                assert stat in serving["latency"][op]
+        assert doc["config"]["workload"]["target_ops"] == 120.0
+        assert doc["config"]["server"]["scheme"] == "EC-Fusion"
+
+    def test_serve_report_is_deterministic(self, tmp_path):
+        r1 = tmp_path / "a.json"
+        r2 = tmp_path / "b.json"
+        args = self.ARGS + ["--chaos-profile", "storm", "--seed", "5"]
+        assert main(args + ["--report", str(r1)]) == 0
+        telemetry.disable()
+        telemetry.reset()
+        assert main(args + ["--report", str(r2)]) == 0
+        assert r1.read_text() == r2.read_text()
+
+    def test_serve_with_storm_counts_degraded_reads(self, tmp_path):
+        report = tmp_path / "storm.json"
+        assert main(self.ARGS + ["--chaos-profile", "storm", "--duration", "4",
+                                 "--report", str(report)]) == 0
+        serving = json.loads(report.read_text())["serving"]
+        assert serving["chaos"]["profile"] == "storm"
+        assert serving["counts"]["chunk_failures"] > 0
+
+    def test_serve_refuses_to_share_the_run(self, capsys):
+        assert main(["serve", "fig13"]) == 2
+        assert "serve" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_config(self, capsys):
+        assert main(["serve", "--scheme", "HACFS", "--read-fraction", "2.0"]) == 2
+
+    def test_serve_unwritable_report_fails_fast(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "r.json"
+        assert main(self.ARGS + ["--report", str(bad)]) == 2
+        assert "cannot write report file" in capsys.readouterr().err

@@ -131,6 +131,26 @@ class TestReport:
             write_report(path, {"bad": object()})
         assert list(tmp_path.iterdir()) == []
 
+    def test_extra_sections_are_added_top_level(self):
+        tracer = TraceRecorder(enabled=True)
+        report = build_report(
+            registry=populated_registry(),
+            tracer=tracer,
+            snapshots=SnapshotCollector(enabled=True),
+            extra={"serving": {"offered": 3}},
+        )
+        assert report["serving"] == {"offered": 3}
+        assert report["schema"] == REPORT_SCHEMA
+
+    def test_extra_section_cannot_shadow_builtin(self):
+        with pytest.raises(ValueError):
+            build_report(
+                registry=populated_registry(),
+                tracer=TraceRecorder(enabled=True),
+                snapshots=SnapshotCollector(enabled=True),
+                extra={"metrics": {}},
+            )
+
     def test_report_is_json_serialisable_after_real_run(self):
         telemetry.enable(tracing=True, snapshots=True)
         telemetry.TRACER.emit("request", ts=1.0, latency=0.5, op="read")
