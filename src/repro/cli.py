@@ -17,6 +17,10 @@ Usage::
     python -m repro serve --target-ops 500 --distribution zipfian \\
         --duration 60 --chaos-profile storm --report out.json
                                          # serving workload + SLO report
+    python -m repro serve --chaos-profile storm --trace t.jsonl
+    python -m repro explain t.jsonl      # where does the degraded p99 live?
+    python -m repro explain t.jsonl --op get --quantile 0.999 \\
+        --perfetto t.perfetto.json       # + Chrome/Perfetto span export
 
 ``--chaos-profile`` overlays a seeded fault storm (stragglers, rack
 partitions, silent corruption with a background scrubber — see
@@ -37,7 +41,12 @@ tracing *and* sim-time snapshots and writes the versioned JSON campaign
 report (metric aggregates + time series + span analytics).
 ``trace-report PATH`` is the offline companion: it summarises an existing
 JSONL trace without re-running any campaign (see ``docs/telemetry.md``
-for both schemas).
+for both schemas).  ``explain PATH`` goes one level deeper on traces
+recorded by ``serve --trace``: it reconstructs the causal span trees,
+attributes the chosen operation's latency tail across phases (queue /
+network / decode / repair-ride / retry), renders exemplar critical
+paths, and can export the spans as Chrome trace-event JSON for
+``ui.perfetto.dev`` (``--perfetto PATH``).
 """
 
 from __future__ import annotations
@@ -175,7 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help=(
             "experiment names (fig13..fig19, table7), 'all', 'list', 'stats', "
-            "'serve', or 'trace-report PATH'"
+            "'serve', 'trace-report PATH', or 'explain PATH'"
         ),
     )
     parser.add_argument("--k", type=int, nargs="+", default=[6, 8], help="stripe widths")
@@ -318,6 +327,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=8, help="closed-loop worker count"
     )
+    explain = parser.add_argument_group(
+        "explain", "causal tail attribution on a trace (the 'explain' command)"
+    )
+    explain.add_argument(
+        "--op",
+        choices=("get", "put", "delete", "degraded", "repair"),
+        default="degraded",
+        help=(
+            "which operation's tail to attribute: a request op, 'degraded' "
+            "(gets that hit a lost chunk), or 'repair' (background recovery)"
+        ),
+    )
+    explain.add_argument(
+        "--quantile",
+        type=float,
+        default=0.99,
+        metavar="Q",
+        help="latency quantile defining the tail (exact nearest-rank)",
+    )
+    explain.add_argument(
+        "--exemplars",
+        type=int,
+        default=3,
+        metavar="N",
+        help="slowest requests to render with full critical paths",
+    )
+    explain.add_argument(
+        "--perfetto",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also export every causal span as Chrome trace-event JSON "
+            "(loadable at ui.perfetto.dev)"
+        ),
+    )
     return parser
 
 
@@ -384,6 +428,42 @@ def _run_trace_report(names: list[str]) -> int:
         print(f"cannot analyze trace: {exc}", file=sys.stderr)
         return 2
     print(analysis.render())
+    return 0
+
+
+def _run_explain(names: list[str], args: argparse.Namespace) -> int:
+    """The ``explain PATH`` pseudo-experiment (causal tail attribution).
+
+    Loads a JSONL trace recorded by ``serve --trace``, reconstructs the
+    causal span trees, and prints where the chosen operation's latency
+    tail lives — an aggregate phase table plus exemplar critical paths
+    whose segments sum exactly to each request's duration.
+    """
+    from .telemetry import causal, spans
+
+    if len(names) != 2:
+        print("usage: python -m repro explain PATH", file=sys.stderr)
+        return 2
+    try:
+        events = spans.load_events(names[1])
+    except (OSError, ValueError) as exc:
+        print(f"cannot explain trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        explanation = causal.explain_tail(
+            events, op=args.op, q=args.quantile, exemplars=args.exemplars
+        )
+    except ValueError as exc:
+        print(f"cannot explain trace: {exc}", file=sys.stderr)
+        return 2
+    print(explanation.render())
+    if args.perfetto is not None:
+        _, error = _probe_output(args.perfetto, prefix=".perfetto-")
+        if error is not None:
+            print(f"cannot write perfetto file: {error}", file=sys.stderr)
+            return 2
+        count = causal.write_chrome_trace(args.perfetto, events)
+        print(f"wrote {count} spans to {args.perfetto}", file=sys.stderr)
     return 0
 
 
@@ -525,10 +605,14 @@ def main(argv: list[str] | None = None) -> int:
         print("  stats    telemetry metrics table for everything run this invocation")
         print("  serve    object-store serving workload with SLO latency report")
         print("  trace-report PATH   span analytics for an existing JSONL trace")
+        print("  explain PATH        causal tail attribution for a serve --trace file")
         return 0
 
     if names and names[0] == "trace-report":
         return _run_trace_report(names)
+
+    if names and names[0] == "explain":
+        return _run_explain(names, args)
 
     if "serve" in names:
         if names != ["serve"]:
@@ -560,7 +644,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
             print(
                 f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats"
-                " | serve | trace-report",
+                " | serve | trace-report | explain",
                 file=sys.stderr,
             )
             return 2

@@ -21,6 +21,13 @@ stalls for the chaos profile's timeout before failing with
 :class:`~repro.chaos.PartitionError` — unless the partition heals during
 the wait, in which case the access proceeds.  Without chaos attached the
 paths are unchanged (``node.alive`` is always True in plain runs).
+
+Execution is causally traceable: pass a
+:class:`~repro.telemetry.SpanContext` (``ctx=``) and each plan section
+emits a child phase span — read fan-out + coordinator ingest and egress
++ write fan-out under ``phase="network"``, the GF compute under
+``phase="decode"``.  Callers that pass nothing (every figure campaign)
+take the historical path untouched, event for event.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ from typing import Generator, Hashable
 
 from ..chaos.faults import PartitionError
 from ..hybrid.plans import OpPlan
+from ..telemetry import TRACER
+from ..telemetry.tracing import SpanContext
 from .events import Event, Simulator
 from .namenode import NameNode
 from .network import Cpu, Link
@@ -132,11 +141,25 @@ class PlanExecutor:
                 node.nic.transfer_ev(nbytes).wait(_mid)
         return barrier
 
-    def execute(self, plan: OpPlan, stripe: Hashable, cpu: Cpu, nic: Link) -> Generator:
-        """Generator that performs one plan; yield it inside a process."""
+    def execute(
+        self,
+        plan: OpPlan,
+        stripe: Hashable,
+        cpu: Cpu,
+        nic: Link,
+        ctx: SpanContext | None = None,
+    ) -> Generator:
+        """Generator that performs one plan; yield it inside a process.
+
+        With a causal ``ctx`` the three sections close as child phase
+        spans (``network`` / ``decode`` / ``network``); without one the
+        generator is byte-for-byte the historical hot path.
+        """
         info = self.namenode.lookup(stripe)
         fast = self.chaos is None  # chunk paths need no reachability machinery
+        trace = ctx is not None and TRACER.enabled
         if plan.reads:
+            started = self.sim.now if trace else 0.0
             if fast:
                 yield self._fanout_ev(info, plan.reads.items(), read=True)
             else:
@@ -149,9 +172,30 @@ class PlanExecutor:
                 yield self.sim.all_of(reads)
             if not plan.distributed:
                 yield nic.transfer_ev(plan.bytes_read)  # ingest at the coordinator
+            if trace:
+                TRACER.span(
+                    "phase",
+                    ctx,
+                    started,
+                    self.sim.now,
+                    phase="network",
+                    stage="read",
+                    bytes=plan.bytes_read,
+                )
         if plan.compute_ops:
+            started = self.sim.now if trace else 0.0
             yield cpu.compute_ev(plan.compute_ops)
+            if trace:
+                TRACER.span(
+                    "phase",
+                    ctx,
+                    started,
+                    self.sim.now,
+                    phase="decode",
+                    ops=plan.compute_ops,
+                )
         if plan.writes:
+            started = self.sim.now if trace else 0.0
             if not plan.distributed:
                 yield nic.transfer_ev(plan.bytes_written)  # egress from the coordinator
             if fast:
@@ -164,13 +208,28 @@ class PlanExecutor:
                     for slot, nbytes in plan.writes.items()
                 ]
                 yield self.sim.all_of(writes)
+            if trace:
+                TRACER.span(
+                    "phase",
+                    ctx,
+                    started,
+                    self.sim.now,
+                    phase="network",
+                    stage="write",
+                    bytes=plan.bytes_written,
+                )
 
     def run_plans(
-        self, plans: list[OpPlan], stripe: Hashable, cpu: Cpu, nic: Link
+        self,
+        plans: list[OpPlan],
+        stripe: Hashable,
+        cpu: Cpu,
+        nic: Link,
+        ctx: SpanContext | None = None,
     ) -> Generator:
         """Execute plans sequentially (conversion → main operation)."""
         for plan in plans:
-            yield from self.execute(plan, stripe, cpu, nic)
+            yield from self.execute(plan, stripe, cpu, nic, ctx=ctx)
 
 
 class Client:
@@ -189,6 +248,11 @@ class Client:
         self.cpu = Cpu(sim, name="client-cpu", alpha=alpha)
         self.nic = Link(sim, name="client-nic", bandwidth=net_bandwidth, latency=net_latency)
 
-    def submit(self, plans: list[OpPlan], stripe: Hashable) -> Generator:
+    def submit(
+        self,
+        plans: list[OpPlan],
+        stripe: Hashable,
+        ctx: SpanContext | None = None,
+    ) -> Generator:
         """Generator for one application request (all its plans)."""
-        yield from self.executor.run_plans(plans, stripe, self.cpu, self.nic)
+        yield from self.executor.run_plans(plans, stripe, self.cpu, self.nic, ctx=ctx)

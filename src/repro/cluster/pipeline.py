@@ -76,6 +76,7 @@ def execute_pipelined(
     plan: OpPlan,
     stripe: Hashable,
     chunk_size: float = DEFAULT_CHUNK,
+    ctx=None,
 ) -> Generator:
     """Generator executing one reconstruction plan as a chunk pipeline.
 
@@ -93,6 +94,9 @@ def execute_pipelined(
     (the :class:`~repro.cluster.RecoveryManager` only routes such plans
     here) and failures propagate exactly like the conventional path —
     ``DeadNodeError`` / ``PartitionError`` out of the first failing chunk.
+    With a causal ``ctx`` (a :class:`~repro.telemetry.SpanContext`) the
+    completion event additionally closes as a ``phase="network"`` child
+    span of the supervising repair trace.
     """
     if not plan.reads or not plan.writes:
         raise ValueError("pipelined execution needs a plan with reads and writes")
@@ -133,13 +137,20 @@ def execute_pipelined(
         )
         METRICS.histogram("cluster.pipeline.chunks", unit="chunks").observe(chunks)
     if TRACER.enabled:
+        # with a causal ctx the event doubles as a child span of the
+        # repair trace (streaming is all byte movement: phase="network");
+        # without one it serialises exactly as it always did
+        causal = TRACER.start_span(ctx)
+        extra = {"phase": "network"} if causal is not None else {}
         TRACER.emit(
             "pipeline-repair",
             ts=sim.now,
+            ctx=causal,
             stripe=stripe,
             target=target.node_id,
             hops=len(path),
             chunks=chunks,
             chunk_bytes=chunk_out,
             latency=sim.now - started,
+            **extra,
         )

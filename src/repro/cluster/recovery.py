@@ -33,6 +33,7 @@ from typing import Generator, Hashable
 from ..chaos.faults import PartitionError
 from ..hybrid.plans import OpPlan, PlanKind
 from ..telemetry import METRICS, TRACER
+from ..telemetry.tracing import SpanContext
 from .client import DeadNodeError, PlanExecutor
 from .events import Event, FIFOResource
 from .network import Link
@@ -90,20 +91,39 @@ class RecoveryManager:
         # conversion-only plan lists still need a worker: the stripe's head node
         return self.executor.nodes[info.placement[0]]
 
-    def _execute_attempt(self, plans: list[OpPlan], stripe: Hashable, worker) -> Generator:
+    def _execute_attempt(
+        self,
+        plans: list[OpPlan],
+        stripe: Hashable,
+        worker,
+        ctx: SpanContext | None = None,
+    ) -> Generator:
         """One attempt at the job: conventional or pipelined per plan."""
         if self.pipeline_chunk is None:
-            yield from self.executor.run_plans(plans, stripe, worker.cpu, worker.nic)
+            yield from self.executor.run_plans(
+                plans, stripe, worker.cpu, worker.nic, ctx=ctx
+            )
             return
         for plan in plans:
             if plan.kind is PlanKind.RECOVERY and plan.reads and plan.writes:
                 yield from execute_pipelined(
-                    self.executor, plan, stripe, chunk_size=self.pipeline_chunk
+                    self.executor,
+                    plan,
+                    stripe,
+                    chunk_size=self.pipeline_chunk,
+                    ctx=ctx,
                 )
             else:
-                yield from self.executor.execute(plan, stripe, worker.cpu, worker.nic)
+                yield from self.executor.execute(
+                    plan, stripe, worker.cpu, worker.nic, ctx=ctx
+                )
 
-    def submit(self, plans: list[OpPlan], stripe: Hashable) -> Generator:
+    def submit(
+        self,
+        plans: list[OpPlan],
+        stripe: Hashable,
+        ctx: SpanContext | None = None,
+    ) -> Generator:
         """Generator for one recovery job (conversions + reconstruction).
 
         With chaos attached, :class:`~repro.chaos.PartitionError` from a
@@ -130,8 +150,9 @@ class RecoveryManager:
         chaos = self.executor.chaos
         attempt = 0
         while True:
+            attempt_started = self.executor.sim.now
             try:
-                yield from self._execute_attempt(plans, stripe, worker)
+                yield from self._execute_attempt(plans, stripe, worker, ctx=ctx)
                 break
             except DeadNodeError as exc:
                 raise RecoveryError(
@@ -158,6 +179,20 @@ class RecoveryManager:
                 yield self.executor.sim.timeout(
                     chaos.retry_backoff * 2 ** (attempt - 1)
                 )
+                if ctx is not None and TRACER.enabled:
+                    # the failed attempt's stall + the backoff, minus
+                    # whatever phase spans the attempt managed to close
+                    # (the sweep clips overlapping siblings), is retry time
+                    TRACER.span(
+                        "phase",
+                        ctx,
+                        attempt_started,
+                        self.executor.sim.now,
+                        phase="retry",
+                        stripe=stripe,
+                        attempt=attempt,
+                        node=exc.node,
+                    )
         self.jobs_completed += 1
 
 
@@ -176,9 +211,10 @@ class RepairJob:
         "racks",
         "boosted",
         "state",
+        "ctx",
     )
 
-    def __init__(self, stripe, block, plans, done, seq, queued_at, nodes, racks):
+    def __init__(self, stripe, block, plans, done, seq, queued_at, nodes, racks, ctx=None):
         self.stripe = stripe
         self.block = block
         self.plans = plans
@@ -193,6 +229,8 @@ class RepairJob:
         #: a degraded read is waiting on this job — dispatch it first
         self.boosted = False
         self.state = "queued"  # queued | running | done | failed
+        #: causal root of this repair's trace (None = untraced job)
+        self.ctx: SpanContext | None = ctx
 
 
 class RecoveryScheduler:
@@ -263,6 +301,23 @@ class RecoveryScheduler:
         """Queued-but-unscheduled jobs (the invariant sweep's at-risk set)."""
         return list(self.queue)
 
+    def ride_job(self, stripe, block) -> RepairJob | None:
+        """The :class:`RepairJob` rebuilding ``(stripe, block)``, if any.
+
+        Same contract as :meth:`ride` but returns the job itself, so a
+        causally-traced degraded read can split its wait into queue time
+        (``queued_at`` → ``dispatched_at``) and repair-ride time.  Riding
+        a *queued* job boosts it to the head of the dispatch order.
+        """
+        job = self.running.get((stripe, block))
+        if job is not None:
+            return job
+        for job in self.queue:
+            if job.stripe == stripe and job.block == block:
+                job.boosted = True
+                return job
+        return None
+
     def ride(self, stripe, block) -> Event | None:
         """The completion event of the job rebuilding ``(stripe, block)``.
 
@@ -270,14 +325,8 @@ class RecoveryScheduler:
         *queued* job boosts it to the head of the dispatch order — a
         client is now blocked on it.
         """
-        job = self.running.get((stripe, block))
-        if job is not None:
-            return job.done
-        for job in self.queue:
-            if job.stripe == stripe and job.block == block:
-                job.boosted = True
-                return job.done
-        return None
+        job = self.ride_job(stripe, block)
+        return None if job is None else job.done
 
     # -- admission -----------------------------------------------------------
     def _job_footprint(self, plans, stripe):
@@ -290,18 +339,23 @@ class RecoveryScheduler:
         racks = frozenset(self.namenode.rack_of(node) for node in nodes)
         return nodes, racks
 
-    def submit(self, plans: list[OpPlan], stripe, block) -> Event:
+    def submit(
+        self, plans: list[OpPlan], stripe, block, ctx: SpanContext | None = None
+    ) -> Event:
         """Queue one reconstruction; returns its completion event.
 
         The event succeeds when the repair lands and *fails* with
         :class:`RecoveryError` when the job gives up — the same contract
-        as waiting on :meth:`RecoveryManager.submit` directly.
+        as waiting on :meth:`RecoveryManager.submit` directly.  With a
+        causal ``ctx`` the job's whole life becomes a span tree under it:
+        queue wait at dispatch, the execution phases, and a ``recovery``
+        root span at completion.
         """
         sim = self.manager.executor.sim
         self._seq += 1
         nodes, racks = self._job_footprint(plans, stripe)
         job = RepairJob(
-            stripe, block, plans, Event(sim), self._seq, sim.now, nodes, racks
+            stripe, block, plans, Event(sim), self._seq, sim.now, nodes, racks, ctx=ctx
         )
         self.queue.append(job)
         if METRICS.enabled:
@@ -385,6 +439,17 @@ class RecoveryScheduler:
                     waited=sim.now - job.queued_at,
                     boosted=job.boosted,
                 )
+                if job.ctx is not None:
+                    TRACER.span(
+                        "phase",
+                        job.ctx,
+                        job.queued_at,
+                        sim.now,
+                        phase="queue",
+                        stripe=job.stripe,
+                        block=job.block,
+                        boosted=job.boosted,
+                    )
             sim.process(self._run(job))
 
     def _run(self, job: RepairJob) -> Generator:
@@ -394,7 +459,7 @@ class RecoveryScheduler:
             yield self.slots.acquire()
         exc: RecoveryError | None = None
         try:
-            yield from self.manager.submit(job.plans, job.stripe)
+            yield from self.manager.submit(job.plans, job.stripe, ctx=job.ctx)
         except RecoveryError as e:
             exc = e
         finally:

@@ -34,8 +34,12 @@ import numpy as np
 from ..chaos.faults import ChaosConfig, PartitionError
 from ..cluster.client import DeadNodeError
 from ..cluster.events import FIFOResource
-from ..telemetry import METRICS, SNAPSHOTS
+from ..telemetry import METRICS, SNAPSHOTS, serving_buckets
 from .store import ObjectStore, ServerConfig
+
+#: ms-scale 1-2-5 bucket ladder every ``server.latency.*`` histogram uses
+#: (built once: the registry keeps first-registration buckets anyway)
+SERVING_BUCKETS = serving_buckets()
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -363,13 +367,17 @@ def run_serving(
             if facts["degraded"]:
                 result.degraded_latencies.append(latency)
                 if METRICS.enabled:
-                    METRICS.histogram("server.latency.degraded_read", unit="s").observe(
-                        latency
-                    )
+                    METRICS.histogram(
+                        "server.latency.degraded_read",
+                        unit="s",
+                        buckets=SERVING_BUCKETS,
+                    ).observe(latency)
         else:
             result.put_latencies.append(latency)
         if METRICS.enabled:
-            METRICS.histogram(f"server.latency.{arrival.op}", unit="s").observe(latency)
+            METRICS.histogram(
+                f"server.latency.{arrival.op}", unit="s", buckets=SERVING_BUCKETS
+            ).observe(latency)
 
     def open_request(arrival: Arrival):
         yield sim.timeout(arrival.time)

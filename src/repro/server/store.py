@@ -44,12 +44,15 @@ from ..cluster.recovery import RecoveryError
 from ..fusion.costmodel import SystemProfile
 from ..hybrid.planners import SchemePlanner
 from ..hybrid.plans import OpPlan, PlanKind
-from ..telemetry import METRICS, TRACER
+from ..telemetry import METRICS, TRACER, serving_buckets
 
 __all__ = ["ServerConfig", "ObjectMeta", "ObjectStore", "AsyncObjectStore"]
 
 #: Schemes the server can front (same contenders as the figure experiments).
 SERVER_SCHEMES = ("RS", "MSR", "LRC", "HACFS", "EC-Fusion")
+
+#: ms-scale 1-2-5 latency buckets for every ``server.service.*`` histogram
+SERVING_BUCKETS = serving_buckets()
 
 
 @dataclass(frozen=True)
@@ -239,20 +242,24 @@ class ObjectStore:
             {fb for fb in self.failed_blocks if fb[0] in gone}
         )
 
-    def _convert(self, stripe: int, conversions: list[OpPlan], via_recovery: bool):
+    def _convert(
+        self, stripe: int, conversions: list[OpPlan], via_recovery: bool, ctx=None
+    ):
         """Run an adaptive scheme's code conversion, journalled under chaos."""
         chaos_state = self.cluster.executor.chaos
         if chaos_state is not None:
             chaos_state.begin_conversion(stripe, self.cluster.namenode)
         committed = False
         try:
-            with METRICS.timer("server.service.conversion", clock=self._clock) as t:
+            with METRICS.timer("server.service.conversion", clock=self._clock, buckets=SERVING_BUCKETS) as t:
                 if via_recovery:
                     yield self.sim.process(
-                        self.cluster.recovery.submit(conversions, stripe)
+                        self.cluster.recovery.submit(conversions, stripe, ctx=ctx)
                     )
                 else:
-                    yield self.sim.process(self._frontend().submit(conversions, stripe))
+                    yield self.sim.process(
+                        self._frontend().submit(conversions, stripe, ctx=ctx)
+                    )
             committed = True
         finally:
             if chaos_state is not None:
@@ -276,15 +283,18 @@ class ObjectStore:
             raise ValueError("object size must be positive")
         nstripes = max(1, math.ceil(size / self.config.stripe_bytes))
         start = self.sim.now
+        root = TRACER.start_trace()  # None while tracing is off
         yield self.sim.timeout(self.config.metadata_latency)
         stripes = tuple(self._alloc_stripe() for _ in range(nstripes))
-        with METRICS.timer("server.service.put", clock=self._clock):
+        with METRICS.timer("server.service.put", clock=self._clock, buckets=SERVING_BUCKETS):
             for stripe in stripes:
                 plans = self.scheme.plan_write(stripe)
                 conversions, main = _split_plans(plans)
                 if conversions:
-                    yield from self._convert(stripe, conversions, via_recovery=False)
-                yield self.sim.process(self._frontend().submit(main, stripe))
+                    yield from self._convert(
+                        stripe, conversions, via_recovery=False, ctx=root
+                    )
+                yield self.sim.process(self._frontend().submit(main, stripe, ctx=root))
         old = self.objects.get(key)
         if old is not None:
             self._forget(old)
@@ -297,38 +307,69 @@ class ObjectStore:
             METRICS.counter("server.requests.put", unit="requests").inc()
         if TRACER.enabled:
             TRACER.emit(
-                "server-put",
+                "request",
                 ts=self.sim.now,
+                ctx=root,
+                op="put",
                 key=key,
                 stripes=len(stripes),
                 latency=latency,
             )
         return {"latency": latency}
 
-    def _read_lost_chunk(self, stripe: int, block: int):
+    def _read_lost_chunk(self, stripe: int, block: int, ctx=None):
         """Degraded read of one lost data chunk; returns True if it rode.
 
         Mirrors the cluster driver's ``ride_repair``: join the repair job
         already rebuilding the chunk when one is queued or running (a
         queued job gets boosted); reconstruct just for this read when
-        there is none, or when the ridden job gives up.
+        there is none, or when the ridden job gives up.  Under causal
+        tracing the wait splits into a ``queue`` span (until the ridden
+        job dispatched) and a ``repair-ride`` span (until it landed).
         """
         plans = None
         rode = False
-        ride = self.cluster.scheduler.ride(stripe, block)
-        if ride is not None:
+        ride_started = self.sim.now
+        job = self.cluster.scheduler.ride_job(stripe, block)
+        if job is not None:
             try:
-                yield ride
+                yield job.done
                 plans = self.scheme.plan_read(stripe, block)
                 rode = True
             except RecoveryError:
                 plans = None  # the repair gave up; reconstruct after all
+            if ctx is not None and TRACER.enabled:
+                now = self.sim.now
+                dispatched = (
+                    job.dispatched_at if job.dispatched_at is not None else now
+                )
+                split = min(max(dispatched, ride_started), now)
+                if split > ride_started:
+                    TRACER.span(
+                        "phase",
+                        ctx,
+                        ride_started,
+                        split,
+                        phase="queue",
+                        stripe=stripe,
+                        block=block,
+                    )
+                TRACER.span(
+                    "phase",
+                    ctx,
+                    split,
+                    now,
+                    phase="repair-ride",
+                    stripe=stripe,
+                    block=block,
+                    rode=rode,
+                )
         if plans is None:
             plans = self.scheme.plan_degraded_read(stripe, block)
         conversions, main = _split_plans(plans)
         if conversions:
-            yield from self._convert(stripe, conversions, via_recovery=False)
-        yield self.sim.process(self._frontend().submit(main, stripe))
+            yield from self._convert(stripe, conversions, via_recovery=False, ctx=ctx)
+        yield self.sim.process(self._frontend().submit(main, stripe, ctx=ctx))
         return rode
 
     def get_op(self, key: str):
@@ -342,12 +383,13 @@ class ObjectStore:
         if meta is None:
             raise KeyError(f"no object {key!r}")
         start = self.sim.now
+        root = TRACER.start_trace()  # None while tracing is off
         yield self.sim.timeout(self.config.metadata_latency)
         degraded = False
         piggybacked = 0
         chunk = self.config.chunk_size
         chaos_state = self.cluster.executor.chaos
-        with METRICS.timer("server.service.get", clock=self._clock):
+        with METRICS.timer("server.service.get", clock=self._clock, buckets=SERVING_BUCKETS):
             for stripe in meta.stripes:
                 # A chunk is unreadable when it is erased *or* its node is
                 # currently unreachable — reconstruct around a partition
@@ -378,7 +420,7 @@ class ObjectStore:
                             "server.degraded_reads", unit="requests"
                         ).inc()
                     for block in lost:
-                        rode = yield from self._read_lost_chunk(stripe, block)
+                        rode = yield from self._read_lost_chunk(stripe, block, ctx=root)
                         if rode:
                             piggybacked += 1
                             self.stats["piggybacked_reads"] += 1
@@ -393,19 +435,25 @@ class ObjectStore:
                     plans = self.scheme.plan_read(stripe, healthy[0])
                     conversions, _ = _split_plans(plans)
                     if conversions:
-                        yield from self._convert(stripe, conversions, via_recovery=False)
+                        yield from self._convert(
+                            stripe, conversions, via_recovery=False, ctx=root
+                        )
                     fanout = OpPlan(
                         kind=PlanKind.READ, reads={b: chunk for b in healthy}
                     )
-                    yield self.sim.process(self._frontend().submit([fanout], stripe))
+                    yield self.sim.process(
+                        self._frontend().submit([fanout], stripe, ctx=root)
+                    )
         self.stats["gets"] += 1
         latency = self.sim.now - start
         if METRICS.enabled:
             METRICS.counter("server.requests.get", unit="requests").inc()
         if TRACER.enabled:
             TRACER.emit(
-                "server-get",
+                "request",
                 ts=self.sim.now,
+                ctx=root,
+                op="get",
                 key=key,
                 latency=latency,
                 degraded=degraded,
@@ -418,14 +466,21 @@ class ObjectStore:
         if key not in self.objects:
             raise KeyError(f"no object {key!r}")
         start = self.sim.now
+        root = TRACER.start_trace()  # None while tracing is off
         yield self.sim.timeout(self.config.metadata_latency)
         meta = self.objects.pop(key, None)
         if meta is not None:
             self._forget(meta)
         self.stats["deletes"] += 1
+        latency = self.sim.now - start
         if METRICS.enabled:
             METRICS.counter("server.requests.delete", unit="requests").inc()
-        return {"latency": self.sim.now - start}
+        if TRACER.enabled:
+            TRACER.emit(
+                "request", ts=self.sim.now, ctx=root, op="delete", key=key,
+                latency=latency,
+            )
+        return {"latency": latency}
 
     # -- preload -------------------------------------------------------------
     def preload(
@@ -454,11 +509,13 @@ class ObjectStore:
         """One supervised reconstruction through the risk-ordered scheduler."""
         plans = self.scheme.plan_recovery(stripe, block)
         conversions, main = _split_plans(plans)
+        started = self.sim.now
+        root = TRACER.start_trace()  # each repair is its own causal trace
         try:
             if conversions:
-                yield from self._convert(stripe, conversions, via_recovery=True)
-            with METRICS.timer("server.service.repair", clock=self._clock) as t:
-                yield self.cluster.scheduler.submit(main, stripe, block)
+                yield from self._convert(stripe, conversions, via_recovery=True, ctx=root)
+            with METRICS.timer("server.service.repair", clock=self._clock, buckets=SERVING_BUCKETS) as t:
+                yield self.cluster.scheduler.submit(main, stripe, block, ctx=root)
         except RecoveryError as exc:
             self.unrecoverable.append(
                 {"stripe": stripe, "block": block, "reason": str(exc), "time": self.sim.now}
@@ -470,6 +527,10 @@ class ObjectStore:
                     "repair-failed", ts=self.sim.now, stripe=stripe, block=block,
                     reason=str(exc),
                 )
+                TRACER.emit(
+                    "recovery", ts=self.sim.now, ctx=root, stripe=stripe,
+                    block=block, latency=self.sim.now - started, failed=True,
+                )
             return
         self.failed_blocks.discard((stripe, block))
         chaos_state = self.cluster.executor.chaos
@@ -479,6 +540,11 @@ class ObjectStore:
         self.repair_latencies.append(t.elapsed)
         if METRICS.enabled:
             METRICS.counter("server.repairs", unit="jobs").inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "recovery", ts=self.sim.now, ctx=root, stripe=stripe, block=block,
+                latency=self.sim.now - started, failed=False,
+            )
 
     def _inject_one_failure(self) -> bool:
         """Lose one random data chunk (within erasure tolerance)."""

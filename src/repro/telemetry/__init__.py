@@ -37,12 +37,25 @@ from .registry import (
     MetricsRegistry,
     Timer,
     default_buckets,
+    serving_buckets,
 )
 from .report import render_metrics_table
 from .snapshots import SNAPSHOTS, SnapshotCollector, SnapshotSampler, SnapshotSeries
 from .spans import Span, TraceAnalysis, analyze_events, analyze_trace, load_events
+from .causal import (
+    PHASES,
+    SpanNode,
+    TailExplanation,
+    attribute_phases,
+    attribution_summary,
+    build_traces,
+    critical_path,
+    explain_tail,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from .export import REPORT_SCHEMA, build_report, render_prometheus, write_report
-from .tracing import TRACER, TraceEvent, TraceRecorder
+from .tracing import TRACER, SpanContext, TraceEvent, TraceRecorder
 
 __all__ = [
     "METRICS",
@@ -57,17 +70,29 @@ __all__ = [
     "SnapshotSampler",
     "SnapshotSeries",
     "Span",
+    "SpanContext",
+    "SpanNode",
+    "TailExplanation",
     "TraceAnalysis",
     "TraceEvent",
     "TraceRecorder",
+    "PHASES",
     "REPORT_SCHEMA",
     "analyze_events",
     "analyze_trace",
+    "attribute_phases",
+    "attribution_summary",
     "build_report",
+    "build_traces",
+    "critical_path",
     "default_buckets",
+    "explain_tail",
     "load_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "render_metrics_table",
     "render_prometheus",
+    "serving_buckets",
     "write_report",
     "enable",
     "disable",

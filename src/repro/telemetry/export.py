@@ -22,6 +22,7 @@ import json
 import os
 import tempfile
 
+from .causal import attribution_summary
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, METRICS
 from .snapshots import SnapshotCollector, SNAPSHOTS
 from .spans import analyze_events
@@ -121,7 +122,10 @@ def build_report(
 
     * ``metrics`` — ``registry.snapshot()``, every counter/gauge/histogram;
     * ``snapshots`` — the sim-time series (see ``docs/telemetry.md``);
-    * ``spans`` — trace analytics from the buffered events.
+    * ``spans`` — trace analytics from the buffered events;
+    * ``attribution`` — causal tail attribution per traced operation
+      (:func:`~repro.telemetry.causal.attribution_summary`); ``{}`` when
+      the trace carries no causal spans (figure campaigns, tracing off).
 
     ``extra`` adds caller-owned top-level sections (the ``serve``
     command's ``serving`` block rides in this way); extra keys may not
@@ -131,7 +135,8 @@ def build_report(
     registry = registry if registry is not None else METRICS
     tracer = tracer if tracer is not None else TRACER
     snapshots = snapshots if snapshots is not None else SNAPSHOTS
-    analysis = analyze_events(ev.to_dict() for ev in tracer.events)
+    events = [ev.to_dict() for ev in tracer.events]
+    analysis = analyze_events(events)
     report = {
         "schema": REPORT_SCHEMA,
         "experiments": list(experiments or []),
@@ -139,6 +144,7 @@ def build_report(
         "metrics": registry.snapshot(),
         "snapshots": snapshots.to_dict(),
         "spans": analysis.to_dict(top=span_top),
+        "attribution": attribution_summary(events),
         "trace": {"events": len(tracer.events), "dropped": tracer.dropped},
     }
     for key, section in (extra or {}).items():

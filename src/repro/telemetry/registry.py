@@ -36,6 +36,7 @@ __all__ = [
     "Timer",
     "METRICS",
     "default_buckets",
+    "serving_buckets",
 ]
 
 
@@ -100,6 +101,27 @@ def default_buckets() -> list[float]:
         bounds.append(10.0**decade)
         bounds.append(10.0**decade * 3.1622776601683795)
     return bounds
+
+
+def serving_buckets() -> list[float]:
+    """1-2-5 bucket ladder for ms-scale serving latencies (in seconds).
+
+    The half-decade :func:`default_buckets` put a ~3.2× ceiling on
+    percentile error — fine for spotting a stall, too coarse to watch a
+    50 ms SLO.  This ladder covers 100 µs .. 500 s in 1-2-5 steps, so a
+    bucket-estimated ``p99`` over the serving band is biased high by at
+    most 2.5× (and typically 2×) of the true rank value; the ``server.*``
+    histograms use it by default.  Exact nearest-rank percentiles still
+    come from the span analytics / ``serving`` report section — see the
+    bucket-error note in ``docs/telemetry.md``.
+
+    Examples
+    --------
+    >>> b = serving_buckets()
+    >>> (0.001 in b, 0.002 in b, 0.005 in b, 0.05 in b)
+    (True, True, True, True)
+    """
+    return [m * 10.0**e for e in range(-4, 3) for m in (1.0, 2.0, 5.0)]
 
 
 class Histogram:

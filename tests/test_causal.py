@@ -1,0 +1,417 @@
+"""Causal tracing: span contexts, tree reconstruction, tail attribution.
+
+Covers the tracing-side contract (deterministic counter ids, disabled
+no-ops, state transfer, capacity eviction), the offline analytics in
+``repro.telemetry.causal`` (trees, critical paths, phase sums, explain,
+Perfetto export), and the end-to-end serving integration — including the
+two invariants everything else leans on: phase attributions sum exactly
+to each root's critical-path duration, and tracing off emits nothing.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import TRACER, SpanContext, TraceRecorder, load_events
+from repro.telemetry.causal import (
+    attribute_phases,
+    attribution_summary,
+    build_traces,
+    critical_path,
+    explain_tail,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_singletons():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestSpanContexts:
+    def test_ids_are_deterministic_counters(self):
+        rec = TraceRecorder(enabled=True)
+        root = rec.start_trace()
+        child = rec.start_span(root)
+        assert (root.trace_id, root.span_id, root.parent_id) == (1, 1, None)
+        assert (child.trace_id, child.span_id, child.parent_id) == (1, 2, 1)
+        rec.clear()
+        again = rec.start_trace()
+        assert again.span_id == 1  # counter resets with the buffer
+
+    def test_disabled_recorder_hands_out_nothing(self):
+        rec = TraceRecorder(enabled=False)
+        assert rec.start_trace() is None
+        assert rec.start_span(None) is None
+        assert rec.span("phase", None, 0.0, 1.0) is None
+        assert len(rec.events) == 0
+
+    def test_span_helper_emits_completion_event(self):
+        rec = TraceRecorder(enabled=True)
+        root = rec.start_trace()
+        ctx = rec.span("phase", root, start=1.0, end=3.5, phase="network")
+        ev = rec.events[0].to_dict()
+        assert ev["ts"] == 3.5
+        assert ev["latency"] == 2.5
+        assert ev["trace_id"] == root.trace_id
+        assert ev["span_id"] == ctx.span_id
+        assert ev["parent_id"] == root.span_id
+
+    def test_events_without_ctx_serialise_as_before(self):
+        rec = TraceRecorder(enabled=True)
+        rec.emit("request", ts=0.5, op="read", latency=0.01)
+        line = json.loads(rec.to_jsonl())
+        assert "trace_id" not in line and "span_id" not in line
+
+    def test_export_merge_round_trips_contexts(self):
+        src = TraceRecorder(enabled=True)
+        root = src.start_trace()
+        src.emit("request", ts=1.0, ctx=root, latency=1.0)
+        dst = TraceRecorder(enabled=True)
+        dst.merge_state(src.export_state())
+        assert dst.events[0].ctx == root
+        # ids allocated after a merge never collide with merged ones
+        fresh = dst.start_trace()
+        assert fresh.span_id > root.span_id
+
+    def test_capacity_evicts_and_counts_causal_events(self):
+        rec = TraceRecorder(enabled=True, capacity=2)
+        root = rec.start_trace()
+        for i in range(5):
+            rec.span("phase", root, start=float(i), end=float(i) + 0.5)
+        assert len(rec.events) == 2
+        assert rec.dropped == 3
+        # the id counter keeps advancing even for dropped spans, so a
+        # truncated buffer never reuses an id a dropped child consumed
+        assert rec.start_span(root).span_id == 7
+
+    def test_merge_respects_capacity(self):
+        src = TraceRecorder(enabled=True)
+        for i in range(4):
+            src.emit("x", ts=float(i))
+        dst = TraceRecorder(enabled=True, capacity=2)
+        dst.merge_state(src.export_state())
+        assert len(dst.events) == 2
+        assert dst.dropped == 2
+
+
+class TestLoadEventsMalformed:
+    def test_truncated_line_names_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ts": 1.0, "kind": "x"}\n{"ts": 2.0, "kin\n')
+        with pytest.raises(ValueError, match="2"):
+            load_events(path)
+
+    def test_non_dict_json_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_events(path)
+
+    def test_scalar_json_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('"just a string"\n')
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_events(path)
+
+    def test_missing_ts_rejected_even_with_ids(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "request", "trace_id": 1, "span_id": 1}\n')
+        with pytest.raises(ValueError, match="ts"):
+            load_events(path)
+
+
+def _request(trace, span, end, latency, parent=None, kind="request", **fields):
+    ev = {"ts": end, "kind": kind, "latency": latency, "trace_id": trace, "span_id": span}
+    if parent is not None:
+        ev["parent_id"] = parent
+    ev.update(fields)
+    return ev
+
+
+class TestBuildTraces:
+    def test_tree_shape_and_ordering(self):
+        events = [
+            _request(1, 1, 2.0, 2.0, op="get"),
+            _request(1, 3, 1.9, 0.4, parent=1, kind="phase", phase="decode"),
+            _request(1, 2, 1.0, 0.8, parent=1, kind="phase", phase="network"),
+            _request(5, 5, 9.0, 1.0, op="put"),
+        ]
+        roots = build_traces(events)
+        assert [r.trace_id for r in roots] == [1, 5]
+        children = roots[0].children
+        assert [c.fields["phase"] for c in children] == ["network", "decode"]
+
+    def test_orphans_promote_to_roots(self):
+        events = [_request(1, 9, 3.0, 1.0, parent=7, kind="phase", phase="queue")]
+        roots = build_traces(events)
+        assert len(roots) == 1 and roots[0].span_id == 9
+
+    def test_flat_events_are_ignored(self):
+        events = [
+            {"ts": 1.0, "kind": "request", "latency": 0.5},  # no ids
+            {"ts": 2.0, "kind": "chunk-failure", "trace_id": 1, "span_id": 1},  # no latency
+        ]
+        assert build_traces(events) == []
+
+
+class TestAttribution:
+    def test_leaf_goes_to_own_phase(self):
+        [root] = build_traces([_request(1, 1, 2.0, 0.5, kind="phase", phase="retry")])
+        assert attribute_phases(root) == {"retry": 0.5}
+
+    def test_phases_sum_to_root_duration_with_residual(self):
+        events = [
+            _request(1, 1, 10.0, 10.0, op="get"),
+            _request(1, 2, 4.0, 4.0, parent=1, kind="phase", phase="network"),
+            _request(1, 3, 9.0, 3.0, parent=1, kind="phase", phase="decode"),
+        ]
+        [root] = build_traces(events)
+        phases = attribute_phases(root)
+        assert phases["network"] == pytest.approx(4.0)
+        assert phases["decode"] == pytest.approx(3.0)
+        assert phases["other"] == pytest.approx(3.0)  # 0..10 minus children
+        assert sum(phases.values()) == pytest.approx(root.duration)
+
+    def test_overlapping_siblings_are_clipped_not_double_counted(self):
+        events = [
+            _request(1, 1, 10.0, 10.0, op="get"),
+            _request(1, 2, 6.0, 6.0, parent=1, kind="phase", phase="network"),
+            _request(1, 3, 8.0, 6.0, parent=1, kind="phase", phase="retry"),
+        ]
+        [root] = build_traces(events)
+        phases = attribute_phases(root)
+        assert sum(phases.values()) == pytest.approx(10.0)
+        assert phases["retry"] == pytest.approx(2.0)  # clipped to [6, 8]
+
+    def test_nested_grandchildren_roll_up(self):
+        events = [
+            _request(1, 1, 10.0, 10.0, op="get"),
+            _request(1, 2, 8.0, 6.0, parent=1, kind="recovery"),
+            _request(1, 3, 5.0, 3.0, parent=2, kind="phase", phase="network"),
+        ]
+        [root] = build_traces(events)
+        phases = attribute_phases(root)
+        assert phases["network"] == pytest.approx(3.0)
+        # recovery's own residual is untagged coordination time
+        assert phases["other"] == pytest.approx(7.0)
+
+    def test_critical_path_segments_tile_the_root(self):
+        events = [
+            _request(1, 1, 10.0, 10.0, op="get"),
+            _request(1, 2, 4.0, 3.0, parent=1, kind="phase", phase="queue"),
+            _request(1, 3, 9.0, 5.0, parent=1, kind="phase", phase="network"),
+        ]
+        [root] = build_traces(events)
+        segments = critical_path(root)
+        assert segments[0]["start"] == pytest.approx(root.start)
+        assert segments[-1]["end"] == pytest.approx(root.end)
+        total = sum(s["end"] - s["start"] for s in segments)
+        assert total == pytest.approx(root.duration)
+        for earlier, later in zip(segments, segments[1:]):
+            assert later["start"] == pytest.approx(earlier["end"])
+
+
+class TestExplainTail:
+    def _events(self):
+        events = []
+        for i in range(10):
+            trace = i + 1
+            latency = 0.01 * (i + 1)
+            end = float(i) + latency
+            degraded = i >= 8
+            events.append(
+                _request(trace, trace * 10, end, latency, op="get", degraded=degraded)
+            )
+            events.append(
+                _request(
+                    trace,
+                    trace * 10 + 1,
+                    end,
+                    latency / 2,
+                    parent=trace * 10,
+                    kind="phase",
+                    phase="repair-ride" if degraded else "network",
+                )
+            )
+        return events
+
+    def test_tail_selection_and_phase_shares(self):
+        explanation = explain_tail(self._events(), op="get", q=0.9, exemplars=2)
+        assert explanation.samples == 10
+        # nearest-rank p90 of 10 samples lands on the 9th latency
+        assert explanation.threshold == pytest.approx(0.09)
+        assert explanation.tail_count == 2
+        # exemplars come slowest-first and each decomposes exactly
+        assert explanation.exemplars[0]["duration"] >= explanation.exemplars[1]["duration"]
+        for exemplar in explanation.exemplars:
+            assert sum(exemplar["phases"].values()) == pytest.approx(exemplar["duration"])
+
+    def test_degraded_selects_flagged_gets_only(self):
+        explanation = explain_tail(self._events(), op="degraded", q=0.0)
+        assert explanation.samples == 2
+        assert "repair-ride" in explanation.phases
+
+    def test_deterministic_across_runs(self):
+        one = explain_tail(self._events(), op="get", q=0.8).to_dict()
+        two = explain_tail(self._events(), op="get", q=0.8).to_dict()
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+
+    def test_render_mentions_threshold_and_phases(self):
+        text = explain_tail(self._events(), op="get", q=0.9).render()
+        assert "p90" in text and "phase" in text and "exemplar 1" in text
+
+    def test_empty_trace_renders_hint(self):
+        explanation = explain_tail([], op="get")
+        assert explanation.samples == 0
+        assert "--trace" in explanation.render()
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError, match="q must be"):
+            explain_tail([], q=1.5)
+
+    def test_attribution_summary_sections(self):
+        summary = attribution_summary(self._events(), q=0.9)
+        assert summary["ops"]["get"]["samples"] == 10
+        assert summary["ops"]["degraded"]["samples"] == 2
+        assert "put" not in summary["ops"]
+        assert attribution_summary([]) == {}
+
+
+class TestPerfettoExport:
+    def test_chrome_trace_layout(self):
+        events = [
+            _request(1, 1, 2.0, 2.0, op="get"),
+            _request(1, 2, 1.0, 0.5, parent=1, kind="phase", phase="network"),
+        ]
+        doc = to_chrome_trace(events)
+        assert doc["displayTimeUnit"] == "ms"
+        by_span = {ev["args"]["span_id"]: ev for ev in doc["traceEvents"]}
+        root, child = by_span[1], by_span[2]
+        assert root["ph"] == "X" and root["tid"] == 1
+        assert root["ts"] == pytest.approx(0.0)
+        assert root["dur"] == pytest.approx(2e6)  # microseconds
+        assert child["name"] == "network"
+        assert child["args"]["parent_id"] == 1
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        events = [_request(1, 1, 2.0, 2.0, op="get")]
+        path = tmp_path / "perfetto.json"
+        assert write_chrome_trace(path, events) == 1
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 1
+
+
+class TestServingIntegration:
+    def _traced_store(self):
+        from repro.server.store import ObjectStore, ServerConfig
+
+        telemetry.enable(metrics=True, tracing=True)
+        store = ObjectStore(ServerConfig(scheme="RS"), seed=3)
+        store.preload(4)
+        return store
+
+    def test_request_roots_and_phase_sums(self):
+        store = self._traced_store()
+
+        def driver():
+            yield from store.put_op("obj-00000")
+            yield from store.get_op("obj-00000")
+            yield from store.delete_op("obj-00001")
+
+        store.sim.process(driver())
+        store.sim.run()
+        events = [ev.to_dict() for ev in TRACER.events]
+        roots = build_traces(events)
+        ops = sorted(r.fields["op"] for r in roots if r.kind == "request")
+        assert ops == ["delete", "get", "put"]
+        for root in roots:
+            phases = attribute_phases(root)
+            assert sum(phases.values()) == pytest.approx(root.duration, rel=1e-9)
+
+    def test_degraded_get_rides_repair_with_queue_split(self):
+        store = self._traced_store()
+        store.failed_blocks.add((0, 1))
+        store.sim.process(store._repair(0, 1))
+
+        facts = {}
+
+        def driver():
+            facts.update((yield from store.get_op("obj-00000")))
+
+        store.sim.process(driver())
+        store.sim.run()
+        assert facts["degraded"] and facts["piggybacked"] == 1
+        events = [ev.to_dict() for ev in TRACER.events]
+        phases = {ev.get("phase") for ev in events if ev["kind"] == "phase"}
+        assert "repair-ride" in phases
+        # the background repair produced its own recovery-rooted trace,
+        # with a queue span (zero-length here: dispatch was immediate)
+        recovery = [r for r in build_traces(events) if r.kind == "recovery"]
+        assert len(recovery) == 1
+        queue_spans = [
+            ev
+            for ev in events
+            if ev.get("phase") == "queue" and ev.get("trace_id") == recovery[0].trace_id
+        ]
+        assert len(queue_spans) == 1
+        # the degraded request's phase table covers the ride
+        get_root = next(
+            r
+            for r in build_traces(events)
+            if r.kind == "request" and r.fields["op"] == "get"
+        )
+        attributed = attribute_phases(get_root)
+        assert attributed.get("repair-ride", 0.0) > 0.0
+        assert sum(attributed.values()) == pytest.approx(get_root.duration)
+
+    def test_request_breakdown_sees_serving_traffic(self):
+        from repro.telemetry import analyze_events
+
+        store = self._traced_store()
+
+        def driver():
+            yield from store.put_op("k")
+            yield from store.get_op("k")
+
+        store.sim.process(driver())
+        store.sim.run()
+        analysis = analyze_events([ev.to_dict() for ev in TRACER.events])
+        breakdown = analysis.request_breakdown()
+        assert any(key.startswith("get") for key in breakdown)
+        assert any(key.startswith("put") for key in breakdown)
+
+    def test_tracing_off_emits_nothing(self):
+        from repro.server.store import ObjectStore, ServerConfig
+
+        store = ObjectStore(ServerConfig(scheme="RS"), seed=3)
+        store.preload(2)
+
+        def driver():
+            yield from store.put_op("obj-00000")
+            yield from store.get_op("obj-00000")
+
+        store.sim.process(driver())
+        store.sim.run()
+        assert len(TRACER.events) == 0
+        assert TRACER._next_id == 1  # no ids consumed either
+
+    def test_report_attribution_section(self):
+        store = self._traced_store()
+
+        def driver():
+            yield from store.get_op("obj-00002")
+
+        store.sim.process(driver())
+        store.sim.run()
+        report = telemetry.build_report(experiments=["serve"])
+        assert report["attribution"]["ops"]["get"]["samples"] == 1
+        # figure campaigns (no causal spans) keep the section present but empty
+        telemetry.reset()
+        assert telemetry.build_report()["attribution"] == {}
