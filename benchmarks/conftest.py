@@ -26,8 +26,9 @@ BENCH_RESULT_SCHEMA = "repro.bench-result/v1"
 
 #: result-name roots whose structured entries also maintain a committed
 #: repo-root baseline (``BENCH_kernels.json`` / ``BENCH_campaign.json`` /
-#: ``BENCH_serving.json``) that CI's perf-smoke job diffs against a fresh run
-BASELINE_ROOTS = ("kernels", "campaign", "serving")
+#: ``BENCH_serving.json`` / ``BENCH_durability.json``) that CI's perf-smoke
+#: job diffs against a fresh run
+BASELINE_ROOTS = ("kernels", "campaign", "serving", "durability")
 
 
 def _update_baseline(root: str, entries: list[dict]) -> None:

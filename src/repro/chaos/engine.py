@@ -193,6 +193,7 @@ class ChaosEngine:
             num_stripes=max(1, num_stripes or cluster.namenode.stripe_count or 1),
             blocks_per_stripe=scheme.k,
             seed=config.seed,
+            dcs=getattr(cluster.namenode, "dcs", 1),
         )
         #: set by the workload driver: spawns a repair for a detected chunk
         self.on_corruption_detected: Callable[[Hashable, int], None] | None = None
@@ -249,6 +250,10 @@ class ChaosEngine:
         sim.timeout(fault.duration, daemon=True).wait(_heal)
 
     def _partition_members(self, fault: PartitionFault) -> list[int]:
+        if fault.dc is not None:
+            return self.cluster.namenode.nodes_in_dc(
+                fault.dc % self.cluster.namenode.dcs
+            )
         if fault.rack is not None:
             return self.cluster.namenode.nodes_in_rack(
                 fault.rack % self.cluster.namenode.racks
@@ -265,6 +270,7 @@ class ChaosEngine:
             nodes=",".join(map(str, members)),
             duration=fault.duration,
             rack=fault.rack if fault.rack is not None else -1,
+            dc=fault.dc if fault.dc is not None else -1,
         )
 
         def _heal(_):

@@ -77,22 +77,26 @@ class SlowdownFault:
 
 @dataclass(frozen=True)
 class PartitionFault:
-    """A node (or a whole rack) becomes unreachable for a while.
+    """A node, whole rack, or whole DC becomes unreachable for a while.
 
-    Exactly one of ``node``/``rack`` is set.  Reads and writes against a
-    partitioned node stall for the profile's ``partition_timeout`` and
-    then fail with :class:`PartitionError`; repairs retry with
-    exponential backoff (see :class:`~repro.cluster.RecoveryManager`).
+    Exactly one of ``node``/``rack``/``dc`` is set.  Reads and writes
+    against a partitioned node stall for the profile's
+    ``partition_timeout`` and then fail with :class:`PartitionError`;
+    repairs retry with exponential backoff (see
+    :class:`~repro.cluster.RecoveryManager`).  A DC-scoped partition is
+    the correlated geo-storm: every node in the data center goes dark at
+    once.
     """
 
     time: float
     duration: float
     node: int | None = None
     rack: int | None = None
+    dc: int | None = None
 
     def __post_init__(self):
-        if (self.node is None) == (self.rack is None):
-            raise ValueError("set exactly one of node / rack")
+        if sum(x is not None for x in (self.node, self.rack, self.dc)) != 1:
+            raise ValueError("set exactly one of node / rack / dc")
 
 
 @dataclass(frozen=True)
@@ -177,6 +181,10 @@ class ChaosProfile:
     partition_duration: tuple[float, float] = (2.0, 15.0)
     #: probability a partition takes out a whole rack (when racks > 1)
     rack_share: float = 0.5
+    #: probability a partition takes out a whole DC (when dcs > 1); drawn
+    #: before the rack share, so dc_share + (1-dc_share)·rack_share of
+    #: partitions are domain-scoped in a hierarchical cluster
+    dc_share: float = 0.0
     partition_timeout: float = 1.0
     retry_backoff: float = 0.5
     max_retries: int = 6
@@ -220,6 +228,17 @@ PROFILES: dict[str, ChaosProfile] = {
         corruptions=6,
         scrub_interval=5.0,
     ),
+    # the hierarchical storm: correlated rack *and* DC outages — only
+    # meaningful on clusters built with racks > 1, dcs > 1
+    "geo-storm": ChaosProfile(
+        name="geo-storm",
+        slowdowns=12,
+        partitions=6,
+        corruptions=4,
+        rack_share=0.5,
+        dc_share=0.25,
+        scrub_interval=5.0,
+    ),
 }
 
 
@@ -261,6 +280,7 @@ def generate_schedule(
     num_stripes: int = 1,
     blocks_per_stripe: int = 1,
     seed: int = 0,
+    dcs: int = 1,
 ) -> FaultSchedule:
     """Draw one deterministic fault schedule for a cluster shape.
 
@@ -271,6 +291,8 @@ def generate_schedule(
     """
     profile = resolve_profile(profile)
     if num_nodes <= 0 or racks < 1 or num_stripes <= 0 or blocks_per_stripe <= 0:
+        raise ValueError("cluster shape parameters must be positive")
+    if dcs < 1:
         raise ValueError("cluster shape parameters must be positive")
     rng = np.random.default_rng(seed)
 
@@ -296,7 +318,13 @@ def generate_schedule(
     ):
         dlo, dhi = profile.partition_duration
         duration = float(rng.uniform(dlo, dhi))
-        if racks > 1 and rng.random() < profile.rack_share:
+        # DC draw happens only when dcs > 1, so flat and rack-only
+        # schedules consume the exact same RNG stream as the seed tree
+        if dcs > 1 and rng.random() < profile.dc_share:
+            partitions.append(
+                PartitionFault(time=t, duration=duration, dc=int(rng.integers(dcs)))
+            )
+        elif racks > 1 and rng.random() < profile.rack_share:
             partitions.append(
                 PartitionFault(time=t, duration=duration, rack=int(rng.integers(racks)))
             )

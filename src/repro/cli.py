@@ -59,6 +59,7 @@ import tempfile
 
 from . import telemetry
 from .chaos import PROFILES
+from .durability import MC_SCHEMES, TOPOLOGIES
 from .server.loadgen import DISTRIBUTIONS
 from .server.store import SERVER_SCHEMES
 from .experiments import (
@@ -327,6 +328,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=8, help="closed-loop worker count"
     )
+    durability = parser.add_argument_group(
+        "durability",
+        "Monte-Carlo durability campaign (the 'durability' experiment)",
+    )
+    durability.add_argument(
+        "--years",
+        type=float,
+        default=10.0,
+        metavar="Y",
+        help="simulated horizon per stripe in years",
+    )
+    durability.add_argument(
+        "--topology",
+        choices=sorted(TOPOLOGIES),
+        default="flat",
+        help=(
+            "failure-domain hierarchy: flat (matches the analytic model), "
+            "rack (ToR oversubscription + rack bursts), geo (3 DCs)"
+        ),
+    )
+    durability.add_argument(
+        "--schemes",
+        nargs="+",
+        choices=MC_SCHEMES,
+        default=list(MC_SCHEMES),
+        metavar="SCHEME",
+        help=f"schemes to sweep (default: all of {', '.join(MC_SCHEMES)})",
+    )
+    durability.add_argument(
+        "--repair-dist",
+        choices=("exponential", "fixed"),
+        default="exponential",
+        help=(
+            "repair-time distribution: exponential matches the Markov "
+            "chain's memoryless repair, fixed uses the cost model's "
+            "deterministic duration"
+        ),
+    )
     explain = parser.add_argument_group(
         "explain", "causal tail attribution on a trace (the 'explain' command)"
     )
@@ -543,6 +582,64 @@ def _run_serve(args: argparse.Namespace) -> int:
                 pass
 
 
+def _run_durability(args: argparse.Namespace) -> int:
+    """The ``durability`` experiment: a Monte-Carlo MTTDL/PDL campaign.
+
+    Fast-forwards years of seeded failure/repair traces over the stripe
+    population (no per-event DES), per scheme, on the chosen topology.
+    ``--report`` adds a top-level ``durability`` section with the
+    per-scheme estimates and confidence intervals; ``--jobs N`` shards
+    the population across processes byte-identically to serial.
+    """
+    from .durability import (
+        DurabilityConfig,
+        format_durability_table,
+        run_durability,
+    )
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    trace_tmp, code = _probe_cli_outputs(args)
+    if code:
+        return code
+    try:
+        try:
+            config = DurabilityConfig(
+                stripes=args.stripes if args.stripes is not None else 100_000,
+                years=args.years,
+                k=args.k[0] if len(args.k) == 1 else 8,
+                seed=args.seed if args.seed is not None else 7,
+                topology=TOPOLOGIES[args.topology],
+                repair_distribution=args.repair_dist,
+            )
+        except ValueError as exc:
+            print(f"invalid durability configuration: {exc}", file=sys.stderr)
+            return 2
+        section = run_durability(config, schemes=tuple(args.schemes), jobs=args.jobs)
+        print(format_durability_table(section))
+        if args.trace is not None:
+            count = telemetry.TRACER.dump_jsonl(trace_tmp)
+            os.replace(trace_tmp, args.trace)  # atomic publish of the dump
+            trace_tmp = None
+            print(f"wrote {count} trace events to {args.trace}", file=sys.stderr)
+        if args.report is not None:
+            report = telemetry.build_report(
+                experiments=["durability"],
+                config=dataclasses.asdict(config),
+                extra={"durability": section},
+            )
+            telemetry.write_report(args.report, report)
+            print(f"wrote durability report to {args.report}", file=sys.stderr)
+        return 0
+    finally:
+        if trace_tmp is not None:
+            try:  # run failed before the dump: leave no stray temp behind
+                os.unlink(trace_tmp)
+            except OSError:
+                pass
+
+
 def _probe_output(
     path: str, prefix: str, suffix: str = "", keep: bool = False
 ) -> tuple[str | None, str | None]:
@@ -604,6 +701,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:8s} {desc}")
         print("  stats    telemetry metrics table for everything run this invocation")
         print("  serve    object-store serving workload with SLO latency report")
+        print(
+            "  durability  Monte-Carlo MTTDL/PDL campaign over a hierarchical"
+            " topology"
+        )
         print("  trace-report PATH   span analytics for an existing JSONL trace")
         print("  explain PATH        causal tail attribution for a serve --trace file")
         return 0
@@ -623,6 +724,16 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         return _run_serve(args)
+
+    if "durability" in names:
+        if names != ["durability"]:
+            print(
+                "'durability' runs alone (it fast-forwards a stripe "
+                "population, not a figure campaign)",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_durability(args)
 
     want_stats = "stats" in names
     names = [n for n in names if n != "stats"]
@@ -644,7 +755,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
             print(
                 f"choose from: {', '.join(EXPERIMENTS)} | all | list | stats"
-                " | serve | trace-report | explain",
+                " | serve | durability | trace-report | explain",
                 file=sys.stderr,
             )
             return 2

@@ -13,7 +13,7 @@ from .client import Client, DeadNodeError, PlanExecutor
 from .cluster import Cluster, ClusterConfig, SimulationResult, run_workload
 from .events import AllOf, Event, FIFOResource, Process, Simulator
 from .namenode import NameNode, StripeInfo
-from .network import Cpu, Link
+from .network import Cpu, Fabric, Link, Uplink
 from .node import DataNode
 from .pipeline import DEFAULT_CHUNK, execute_pipelined, pipeline_slices
 from .recovery import RecoveryError, RecoveryManager, RecoveryScheduler, RepairJob
@@ -29,6 +29,8 @@ __all__ = [
     "FIFOResource",
     "Disk",
     "Link",
+    "Uplink",
+    "Fabric",
     "Cpu",
     "DataNode",
     "NameNode",

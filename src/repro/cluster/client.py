@@ -69,6 +69,9 @@ class PlanExecutor:
         self.namenode = namenode
         #: optional :class:`~repro.chaos.ChaosState`; None = chaos-free run
         self.chaos = None
+        #: optional :class:`~repro.cluster.network.Fabric`; None = flat
+        #: non-blocking network (the historical bit-identical default)
+        self.fabric = None
 
     def check_reachable(self, node: DataNode) -> Generator:
         """Fail fast on dead nodes; time out (or outwait) partitions.
@@ -254,5 +257,13 @@ class Client:
         stripe: Hashable,
         ctx: SpanContext | None = None,
     ) -> Generator:
-        """Generator for one application request (all its plans)."""
+        """Generator for one application request (all its plans).
+
+        With an oversubscribed fabric attached, the request's
+        cross-domain bytes first queue on the shared rack uplinks / DC
+        interconnects (admission at the fabric edge) before the per-node
+        pipelines run.
+        """
+        if self.executor.fabric is not None:
+            yield from self.executor.fabric.charge(plans, stripe, where=None)
         yield from self.executor.run_plans(plans, stripe, self.cpu, self.nic, ctx=ctx)

@@ -24,6 +24,7 @@ from ..workloads.trace import OpType, Trace
 from .client import Client, DeadNodeError, PlanExecutor
 from .events import Event, Simulator
 from .namenode import NameNode
+from .network import Fabric
 from .node import DataNode
 from .recovery import RecoveryError, RecoveryManager, RecoveryScheduler
 
@@ -53,8 +54,16 @@ class ClusterConfig:
     disk_bandwidth: float = 500e6
     io_latency: float = 100e-6
     net_latency: float = 200e-6
-    #: failure domains; > 1 enables rack-aware placement
+    #: rack failure domains; > 1 enables rack-aware placement
     racks: int = 1
+    #: data-center failure domains; > 1 spreads racks (and therefore
+    #: stripes) across DCs; must divide ``racks`` evenly
+    dcs: int = 1
+    #: ToR oversubscription factor: each rack's shared uplink carries only
+    #: ``member_NICs / factor`` bytes/s (None = non-blocking, seed default)
+    rack_oversubscription: float | None = None
+    #: same one level up: each DC's interconnect to the other DCs
+    dc_oversubscription: float | None = None
     #: bytes/s cap shared by all background recovery traffic (None = unthrottled)
     recovery_bandwidth_cap: float | None = None
     #: pipelined (ECPipe-style) repair: chunk size in bytes; None keeps the
@@ -67,6 +76,8 @@ class ClusterConfig:
     max_repairs_per_node: int = 2
     #: concurrent running repairs per rack (None = uncapped)
     max_repairs_per_rack: int | None = None
+    #: concurrent running repairs per data center (None = uncapped)
+    max_repairs_per_dc: int | None = None
     #: global ceiling on simultaneously running repairs (None = uncapped)
     max_concurrent_repairs: int | None = None
 
@@ -199,8 +210,22 @@ class Cluster:
             )
             for i in range(config.num_nodes)
         ]
-        self.namenode = NameNode(config.num_nodes, width, racks=config.racks)
+        self.namenode = NameNode(
+            config.num_nodes, width, racks=config.racks, dcs=config.dcs
+        )
         self.executor = PlanExecutor(self.sim, self.nodes, self.namenode)
+        if (
+            config.rack_oversubscription is not None
+            or config.dc_oversubscription is not None
+        ):
+            self.executor.fabric = Fabric(
+                self.sim,
+                self.namenode,
+                node_bandwidth=p.lam,
+                rack_oversubscription=config.rack_oversubscription,
+                dc_oversubscription=config.dc_oversubscription,
+                latency=config.net_latency,
+            )
         self.client = Client(
             self.sim,
             self.executor,
@@ -224,6 +249,7 @@ class Cluster:
                 max_per_node=config.max_repairs_per_node,
                 max_per_rack=config.max_repairs_per_rack,
                 max_total=config.max_concurrent_repairs,
+                max_per_dc=config.max_repairs_per_dc,
             )
 
     # -- statistics --------------------------------------------------------

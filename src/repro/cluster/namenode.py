@@ -38,25 +38,49 @@ class NameNode:
     width:
         Slots per stripe (scheme-dependent).
     racks:
-        Number of failure domains.  With ``racks > 1`` placement is
+        Number of rack failure domains.  With ``racks > 1`` placement is
         rack-aware: consecutive slots of a stripe land on *different*
         racks (round-robin over racks, rotating the node within each
         rack), so a rack loss takes out at most ⌈width/racks⌉ chunks of
         any stripe.  ``racks = 1`` (default) is the flat rotational
         placement.
+    dcs:
+        Number of data-center failure domains.  DC ``d`` owns racks
+        ``d, d + dcs, d + 2·dcs, ...`` (striped, mirroring the rack/node
+        layout), so the rack round-robin placement visits DCs
+        round-robin too and a DC loss takes out at most ⌈width/dcs⌉
+        chunks of any stripe.  Requires ``dcs | racks`` so every DC
+        holds the same number of racks — unequal DCs would break the
+        ⌈width/dcs⌉ spreading bound.  ``dcs = 1`` (default) keeps the
+        single-campus behaviour bit-identical.
     """
 
-    def __init__(self, num_nodes: int, width: int, stride: int = 1, racks: int = 1):
+    def __init__(
+        self,
+        num_nodes: int,
+        width: int,
+        stride: int = 1,
+        racks: int = 1,
+        dcs: int = 1,
+    ):
         if num_nodes < width:
             raise ValueError(
                 f"cluster of {num_nodes} nodes cannot place {width}-wide stripes"
             )
         if racks < 1 or racks > num_nodes:
             raise ValueError(f"racks must be in [1, num_nodes], got {racks}")
+        if dcs < 1 or dcs > racks:
+            raise ValueError(f"dcs must be in [1, racks={racks}], got {dcs}")
+        if racks % dcs:
+            raise ValueError(
+                f"racks ({racks}) must divide evenly across dcs ({dcs}) so every "
+                "DC holds the same number of racks"
+            )
         self.num_nodes = num_nodes
         self.width = width
         self.stride = stride
         self.racks = racks
+        self.dcs = dcs
         # rack r owns nodes r, r + racks, r + 2·racks, ... (striped layout)
         self._rack_nodes = [
             [n for n in range(num_nodes) if n % racks == r] for r in range(racks)
@@ -65,14 +89,30 @@ class NameNode:
         self._counter = 0
 
     def rack_of(self, node: int) -> int:
-        """Failure domain of a node."""
+        """Rack failure domain of a node."""
         if not 0 <= node < self.num_nodes:
             raise ValueError(f"node {node} out of range")
         return node % self.racks
 
     def nodes_in_rack(self, rack: int) -> list[int]:
-        """All nodes in one failure domain."""
+        """All nodes in one rack failure domain."""
         return list(self._rack_nodes[rack])
+
+    def dc_of(self, node: int) -> int:
+        """Data-center failure domain of a node (rack striped over DCs)."""
+        return self.rack_of(node) % self.dcs
+
+    def racks_in_dc(self, dc: int) -> list[int]:
+        """All racks in one data center."""
+        if not 0 <= dc < self.dcs:
+            raise ValueError(f"dc {dc} out of range")
+        return [r for r in range(self.racks) if r % self.dcs == dc]
+
+    def nodes_in_dc(self, dc: int) -> list[int]:
+        """All nodes in one data-center failure domain."""
+        return sorted(
+            n for r in self.racks_in_dc(dc) for n in self._rack_nodes[r]
+        )
 
     def _place(self, index: int) -> list[int]:
         if self.racks == 1:
@@ -87,6 +127,20 @@ class NameNode:
             offset = (index + s // self.racks) % len(members)
             placement.append(members[offset])
         return placement
+
+    def placement_for(self, index: int) -> list[int]:
+        """Placement of the ``index``-th stripe *without* registering it.
+
+        Rack ids 0..racks-1 cycle through DCs (rack ``r`` lives in DC
+        ``r mod dcs``), so the rack round-robin walk doubles as a DC
+        round-robin walk: consecutive slots land in consecutive DCs and
+        no DC holds more than ⌈width/dcs⌉ chunks of the stripe.  Pure
+        function of ``index`` — the durability engine and property tests
+        use it to enumerate placements without touching registry state.
+        """
+        if index < 0:
+            raise ValueError(f"stripe index must be non-negative, got {index}")
+        return self._place(index)
 
     def lookup(self, stripe_id: Hashable) -> StripeInfo:
         """Metadata for a stripe, creating it (with placement) on first use."""

@@ -8,12 +8,15 @@ the heart of the online-recovery scenario.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import TYPE_CHECKING, Generator
 
 from ..telemetry import METRICS
 from .events import FIFOResource, Simulator
 
-__all__ = ["Link", "Cpu"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .namenode import NameNode
+
+__all__ = ["Link", "Uplink", "Fabric", "Cpu"]
 
 
 class Link(FIFOResource):
@@ -89,6 +92,126 @@ class Link(FIFOResource):
         if self.derate != 1.0:
             t *= self.derate
         return self.use_ev(t)
+
+
+class Uplink(Link):
+    """A shared aggregation link: one rack's ToR uplink or one DC's interconnect.
+
+    Real fabrics are *oversubscribed*: a rack of ``members`` nodes with
+    λ bytes/s NICs shares an uplink of only ``members·λ/oversubscription``
+    bytes/s (the Facebook warehouse study reports 5–10× at the ToR).
+    Every byte that crosses the rack (or DC) boundary queues here in
+    addition to the endpoint NICs, so cross-domain repair traffic
+    contends for the thin shared pipe — the regime that actually decides
+    recovery speed at scale.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        member_bandwidth: float,
+        members: int,
+        oversubscription: float,
+        latency: float = 200e-6,
+    ):
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription factor must be >= 1")
+        if members < 1:
+            raise ValueError("uplink needs at least one member node")
+        super().__init__(
+            sim,
+            name=name,
+            bandwidth=member_bandwidth * members / oversubscription,
+            latency=latency,
+        )
+        self.oversubscription = oversubscription
+        self.members = members
+
+
+class Fabric:
+    """The cluster's aggregation fabric: rack uplinks + DC interconnects.
+
+    Opt-in (built only when the cluster config sets an oversubscription
+    factor): each rack gets one :class:`Uplink` sized from its member
+    NICs, each DC one interconnect sized from its member count.  A plan's
+    bytes are charged to every *remote* domain they touch — a read from a
+    node outside the coordinator's rack occupies that rack's uplink, a
+    chunk in another DC additionally occupies that DC's interconnect —
+    with all domain transfers of one plan batch running in parallel
+    (barrier on the slowest), mirroring how the executor fans chunk
+    traffic out.  External clients attach at DC 0 (where the frontends
+    live) and cross every rack boundary.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        namenode: "NameNode",
+        node_bandwidth: float = 125e6,
+        rack_oversubscription: float | None = None,
+        dc_oversubscription: float | None = None,
+        latency: float = 200e-6,
+    ):
+        self.sim = sim
+        self.namenode = namenode
+        self.rack_uplinks: dict[int, Uplink] = {}
+        self.dc_links: dict[int, Uplink] = {}
+        if rack_oversubscription is not None and namenode.racks > 1:
+            for rack in range(namenode.racks):
+                self.rack_uplinks[rack] = Uplink(
+                    sim,
+                    name=f"rack{rack}-uplink",
+                    member_bandwidth=node_bandwidth,
+                    members=len(namenode.nodes_in_rack(rack)),
+                    oversubscription=rack_oversubscription,
+                    latency=latency,
+                )
+        if dc_oversubscription is not None and namenode.dcs > 1:
+            for dc in range(namenode.dcs):
+                self.dc_links[dc] = Uplink(
+                    sim,
+                    name=f"dc{dc}-interconnect",
+                    member_bandwidth=node_bandwidth,
+                    members=len(namenode.nodes_in_dc(dc)),
+                    oversubscription=dc_oversubscription,
+                    latency=latency,
+                )
+
+    def charge(self, plans, stripe, where: int | None) -> Generator:
+        """Occupy the fabric for one plan batch's cross-domain bytes.
+
+        ``where`` is the coordinating node (the decode worker for
+        repairs) or ``None`` for an external client, which attaches at
+        DC 0 and is outside every rack.  Chunks local to the
+        coordinator's domain are free; remote bytes queue on the remote
+        domain's shared link, one parallel transfer per touched link.
+        """
+        if not self.rack_uplinks and not self.dc_links:
+            return
+        namenode = self.namenode
+        if where is None:
+            w_rack, w_dc = None, 0
+        else:
+            w_rack, w_dc = namenode.rack_of(where), namenode.dc_of(where)
+        load: dict[Uplink, float] = {}
+        for plan in plans:
+            for items in (plan.reads, plan.writes):
+                for slot, nbytes in items.items():
+                    if not nbytes:
+                        continue
+                    node = namenode.lookup(stripe).placement[slot]
+                    rack = namenode.rack_of(node)
+                    uplink = self.rack_uplinks.get(rack)
+                    if uplink is not None and rack != w_rack:
+                        load[uplink] = load.get(uplink, 0.0) + nbytes
+                    dc_link = self.dc_links.get(rack % namenode.dcs)
+                    if dc_link is not None and rack % namenode.dcs != w_dc:
+                        load[dc_link] = load.get(dc_link, 0.0) + nbytes
+        if load:
+            yield self.sim.all_of(
+                [link.transfer_ev(nbytes) for link, nbytes in load.items()]
+            )
 
 
 class Cpu(FIFOResource):

@@ -138,6 +138,10 @@ class RecoveryManager:
         if self.throttle is not None:
             for plan in plans:
                 yield from self.throttle.transfer(plan.transfer_bytes)
+        if self.executor.fabric is not None:
+            # cross-rack/cross-DC helper bytes queue on the shared
+            # oversubscribed uplinks, coordinated at the decode worker
+            yield from self.executor.fabric.charge(plans, stripe, where=worker.node_id)
         if METRICS.enabled:
             METRICS.counter("cluster.recovery.jobs", unit="jobs").inc()
             METRICS.counter("cluster.recovery.bytes_read", unit="bytes").inc(
@@ -209,12 +213,15 @@ class RepairJob:
         "dispatched_at",
         "nodes",
         "racks",
+        "dcs",
         "boosted",
         "state",
         "ctx",
     )
 
-    def __init__(self, stripe, block, plans, done, seq, queued_at, nodes, racks, ctx=None):
+    def __init__(
+        self, stripe, block, plans, done, seq, queued_at, nodes, racks, dcs=frozenset(), ctx=None
+    ):
         self.stripe = stripe
         self.block = block
         self.plans = plans
@@ -226,6 +233,7 @@ class RepairJob:
         #: data nodes the job reads from or writes to (concurrency caps)
         self.nodes = nodes
         self.racks = racks
+        self.dcs = dcs
         #: a degraded read is waiting on this job — dispatch it first
         self.boosted = False
         self.state = "queued"  # queued | running | done | failed
@@ -246,7 +254,10 @@ class RecoveryScheduler:
     * **per-node cap** — at most ``max_per_node`` running jobs may touch
       any one data node (helpers included), keeping a storm from
       serialising every pipeline through the same survivor;
-    * **per-rack cap** — optional analogue across failure domains;
+    * **per-rack cap** — optional analogue across rack failure domains;
+    * **per-DC cap** — optional analogue one level up: at most
+      ``max_per_dc`` running jobs may touch any one data center, so a
+      geo-storm cannot saturate a DC's oversubscribed interconnect;
     * **global cap** — ``max_total`` running jobs overall, enforced by a
       multi-server :class:`~repro.cluster.FIFOResource` (capacity =
       ``max_total``), the same primitive the disks and NICs queue on.
@@ -264,17 +275,21 @@ class RecoveryScheduler:
         max_per_node: int = 2,
         max_per_rack: int | None = None,
         max_total: int | None = None,
+        max_per_dc: int | None = None,
     ):
         if max_per_node < 1:
             raise ValueError("max_per_node must be at least 1")
         if max_per_rack is not None and max_per_rack < 1:
             raise ValueError("max_per_rack must be at least 1")
+        if max_per_dc is not None and max_per_dc < 1:
+            raise ValueError("max_per_dc must be at least 1")
         if max_total is not None and max_total < 1:
             raise ValueError("max_total must be at least 1")
         self.manager = manager
         self.namenode = namenode
         self.max_per_node = max_per_node
         self.max_per_rack = max_per_rack
+        self.max_per_dc = max_per_dc
         self.max_total = max_total
         #: bound by the workload driver: the live lost-chunk set that
         #: measures each stripe's durability risk (erasure count)
@@ -283,6 +298,7 @@ class RecoveryScheduler:
         self.running: dict[tuple, RepairJob] = {}
         self._node_load: dict[int, int] = {}
         self._rack_load: dict[int, int] = {}
+        self._dc_load: dict[int, int] = {}
         self._seq = 0
         self.jobs_dispatched = 0
         self.slots: FIFOResource | None = None
@@ -337,7 +353,8 @@ class RecoveryScheduler:
             slots.update(plan.writes)
         nodes = frozenset(info.placement[slot] for slot in slots)
         racks = frozenset(self.namenode.rack_of(node) for node in nodes)
-        return nodes, racks
+        dcs = frozenset(rack % getattr(self.namenode, "dcs", 1) for rack in racks)
+        return nodes, racks, dcs
 
     def submit(
         self, plans: list[OpPlan], stripe, block, ctx: SpanContext | None = None
@@ -353,9 +370,9 @@ class RecoveryScheduler:
         """
         sim = self.manager.executor.sim
         self._seq += 1
-        nodes, racks = self._job_footprint(plans, stripe)
+        nodes, racks, dcs = self._job_footprint(plans, stripe)
         job = RepairJob(
-            stripe, block, plans, Event(sim), self._seq, sim.now, nodes, racks, ctx=ctx
+            stripe, block, plans, Event(sim), self._seq, sim.now, nodes, racks, dcs, ctx=ctx
         )
         self.queue.append(job)
         if METRICS.enabled:
@@ -385,6 +402,10 @@ class RecoveryScheduler:
             return False
         if self.max_per_rack is not None and any(
             self._rack_load.get(r, 0) >= self.max_per_rack for r in job.racks
+        ):
+            return False
+        if self.max_per_dc is not None and any(
+            self._dc_load.get(d, 0) >= self.max_per_dc for d in job.dcs
         ):
             return False
         return True
@@ -419,6 +440,8 @@ class RecoveryScheduler:
                 self._node_load[n] = self._node_load.get(n, 0) + 1
             for r in job.racks:
                 self._rack_load[r] = self._rack_load.get(r, 0) + 1
+            for d in job.dcs:
+                self._dc_load[d] = self._dc_load.get(d, 0) + 1
             self.jobs_dispatched += 1
             if METRICS.enabled:
                 METRICS.gauge("cluster.scheduler.queue_depth", unit="jobs").set(
@@ -468,6 +491,8 @@ class RecoveryScheduler:
                 self._node_load[n] -= 1
             for r in job.racks:
                 self._rack_load[r] -= 1
+            for d in job.dcs:
+                self._dc_load[d] -= 1
             if self.slots is not None:
                 self.slots.release()
             if METRICS.enabled:

@@ -1,0 +1,140 @@
+"""Hierarchical topology descriptions for durability campaigns.
+
+A :class:`TopologySpec` is the durability engine's view of the cluster's
+failure-domain hierarchy: how many racks and DCs stripes spread over,
+how oversubscribed the shared uplinks are (which stretches cross-domain
+repair), and how often whole domains fail together (the correlated
+bursts the Facebook warehouse study found dominate real data loss).
+
+The named presets in :data:`TOPOLOGIES` are selectable via the CLI's
+``--topology`` flag:
+
+* ``flat`` — one rack, one DC, non-blocking network, independent disk
+  failures only.  Exactly the assumptions of the analytic Markov chain
+  in :mod:`repro.metrics.reliability`, which is what makes the
+  Monte-Carlo ↔ closed-form cross-validation possible.
+* ``rack`` — a single-campus cluster with oversubscribed ToR uplinks
+  and occasional whole-rack outages.
+* ``geo`` — three DCs, rack *and* DC failure bursts, and doubly
+  oversubscribed cross-DC repair traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TopologySpec", "TOPOLOGIES", "resolve_topology"]
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Failure-domain hierarchy + fabric shape for a durability sweep.
+
+    Attributes
+    ----------
+    racks, dcs:
+        Domain counts; ``dcs`` must divide ``racks`` (the namenode's
+        striped rack→DC layout needs equal-sized DCs).
+    nodes_per_rack:
+        Sizing hint for the placement namenode; the engine raises it
+        automatically if the stripe width needs more nodes.
+    rack_oversubscription, dc_oversubscription:
+        How much slower a byte crosses the rack / DC boundary than a
+        node-local NIC transfer (1.0 = non-blocking fabric).  These
+        stretch cross-domain repair times via the SMRSU-style traffic
+        split: a repair whose helpers are fraction ``f`` remote takes
+        ``(1-f) + f·factor`` times its flat-network duration.
+    rack_mttf_hours, dc_mttf_hours:
+        Mean time between *whole-domain* failure bursts per rack / per
+        DC (``None`` = that burst family is off).  A burst fails every
+        chunk the stripe keeps in the domain simultaneously — the
+        correlated-failure model, applied stripe-marginally so stripes
+        stay independent and shardable.
+    """
+
+    name: str
+    racks: int = 1
+    dcs: int = 1
+    nodes_per_rack: int = 16
+    rack_oversubscription: float = 1.0
+    dc_oversubscription: float = 1.0
+    rack_mttf_hours: float | None = None
+    dc_mttf_hours: float | None = None
+
+    def __post_init__(self):
+        if self.racks < 1 or self.dcs < 1 or self.nodes_per_rack < 1:
+            raise ValueError("racks, dcs and nodes_per_rack must be >= 1")
+        if self.dcs > self.racks:
+            raise ValueError(f"dcs ({self.dcs}) cannot exceed racks ({self.racks})")
+        if self.racks % self.dcs:
+            raise ValueError(
+                f"racks ({self.racks}) must divide evenly across dcs ({self.dcs})"
+            )
+        if self.rack_oversubscription < 1.0 or self.dc_oversubscription < 1.0:
+            raise ValueError("oversubscription factors must be >= 1")
+        for mttf in (self.rack_mttf_hours, self.dc_mttf_hours):
+            if mttf is not None and mttf <= 0:
+                raise ValueError("domain MTTF hours must be positive")
+
+    @property
+    def flat(self) -> bool:
+        """True when the topology adds nothing beyond independent disks."""
+        return (
+            self.racks == 1
+            and self.dcs == 1
+            and self.rack_mttf_hours is None
+            and self.dc_mttf_hours is None
+        )
+
+    def num_nodes(self, width: int) -> int:
+        """Cluster size for ``width``-wide stripes (whole racks only)."""
+        per_rack = max(self.nodes_per_rack, -(-width // self.racks))
+        return self.racks * per_rack
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the report's ``durability`` section."""
+        return {
+            "name": self.name,
+            "racks": self.racks,
+            "dcs": self.dcs,
+            "nodes_per_rack": self.nodes_per_rack,
+            "rack_oversubscription": self.rack_oversubscription,
+            "dc_oversubscription": self.dc_oversubscription,
+            "rack_mttf_hours": self.rack_mttf_hours,
+            "dc_mttf_hours": self.dc_mttf_hours,
+        }
+
+
+#: Named topologies selectable via ``repro durability --topology``.
+TOPOLOGIES: dict[str, TopologySpec] = {
+    "flat": TopologySpec(name="flat"),
+    "rack": TopologySpec(
+        name="rack",
+        racks=8,
+        nodes_per_rack=8,
+        rack_oversubscription=5.0,
+        rack_mttf_hours=10 * 8766.0,  # one burst per rack-decade
+    ),
+    "geo": TopologySpec(
+        name="geo",
+        racks=6,
+        dcs=3,
+        nodes_per_rack=8,
+        rack_oversubscription=5.0,
+        dc_oversubscription=10.0,
+        rack_mttf_hours=10 * 8766.0,
+        dc_mttf_hours=50 * 8766.0,  # a DC-scale burst every 50 years
+    ),
+}
+
+
+def resolve_topology(topology: str | TopologySpec) -> TopologySpec:
+    """Look up a named topology (or pass a :class:`TopologySpec` through)."""
+    if isinstance(topology, TopologySpec):
+        return topology
+    try:
+        return TOPOLOGIES[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology!r}; choose from {sorted(TOPOLOGIES)}"
+        ) from None

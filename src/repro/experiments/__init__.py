@@ -22,7 +22,7 @@ from . import (
     table4_allocation,
     table7_summary,
 )
-from .parallel import CampaignTask, campaign_tasks, run_campaign_tasks
+from .parallel import CampaignTask, campaign_tasks, map_tasks, run_campaign_tasks
 from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes, format_table
 from .simulation import CampaignResults, run_campaign, set_default_jobs
 
@@ -37,6 +37,7 @@ __all__ = [
     "CampaignTask",
     "campaign_tasks",
     "run_campaign_tasks",
+    "map_tasks",
     "eta_landscape",
     "lifetime",
     "parallel",

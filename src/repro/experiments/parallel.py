@@ -38,7 +38,7 @@ from ..telemetry import METRICS, SNAPSHOTS, TRACER
 from ..workloads import failures_for_trace, make_trace
 from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes
 
-__all__ = ["CampaignTask", "campaign_tasks", "run_campaign_tasks"]
+__all__ = ["CampaignTask", "campaign_tasks", "run_campaign_tasks", "map_tasks"]
 
 
 @dataclass(frozen=True)
@@ -172,3 +172,22 @@ def run_campaign_tasks(
     for _, state in payloads:
         _merge_telemetry(state)
     return [result for result, _ in payloads]
+
+
+def map_tasks(fn, tasks: list, jobs: int = 1) -> list:
+    """Order-preserving, process-parallel map over independent tasks.
+
+    The generic sibling of :func:`run_campaign_tasks` for work that
+    carries no global telemetry (the durability sweeps): ``fn`` must be a
+    module-level picklable function of one task, every task must be a
+    pure self-contained description of its work, and results come back
+    aligned with ``tasks`` regardless of completion order — so
+    ``jobs=N`` is byte-identical to ``jobs=1`` whenever ``fn`` is
+    deterministic per task.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))
+    return [fn(task) for task in tasks]

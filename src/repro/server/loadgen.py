@@ -35,6 +35,7 @@ from ..chaos.faults import ChaosConfig, PartitionError
 from ..cluster.client import DeadNodeError
 from ..cluster.events import FIFOResource
 from ..telemetry import METRICS, SNAPSHOTS, serving_buckets
+from ..telemetry.spans import nearest_rank
 from .store import ObjectStore, ServerConfig
 
 #: ms-scale 1-2-5 bucket ladder every ``server.latency.*`` histogram uses
@@ -175,11 +176,7 @@ def generate_arrivals(spec: WorkloadSpec) -> list[Arrival]:
 
 def _exact_percentile(samples: list[float], q: float) -> float:
     """Nearest-rank percentile over the raw samples (no bucketing)."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[idx]
+    return nearest_rank(sorted(samples), q)
 
 
 def _latency_summary(samples: list[float]) -> dict:

@@ -41,7 +41,14 @@ from .registry import (
 )
 from .report import render_metrics_table
 from .snapshots import SNAPSHOTS, SnapshotCollector, SnapshotSampler, SnapshotSeries
-from .spans import Span, TraceAnalysis, analyze_events, analyze_trace, load_events
+from .spans import (
+    Span,
+    TraceAnalysis,
+    analyze_events,
+    analyze_trace,
+    load_events,
+    nearest_rank,
+)
 from .causal import (
     PHASES,
     SpanNode,
@@ -88,6 +95,7 @@ __all__ = [
     "default_buckets",
     "explain_tail",
     "load_events",
+    "nearest_rank",
     "to_chrome_trace",
     "write_chrome_trace",
     "render_metrics_table",

@@ -46,6 +46,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from .spans import nearest_rank
+
 __all__ = [
     "PHASES",
     "SpanNode",
@@ -250,12 +252,8 @@ def critical_path(node: SpanNode) -> list[dict]:
     return segments
 
 
-def _percentile(ordered: list[float], q: float) -> float:
-    """Exact nearest-rank percentile of a pre-sorted sample list."""
-    if not ordered:
-        return 0.0
-    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[idx]
+#: Canonical nearest-rank percentile, shared with the span analytics.
+_percentile = nearest_rank
 
 
 def _select_roots(roots: list[SpanNode], op: str) -> list[SpanNode]:

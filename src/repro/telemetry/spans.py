@@ -31,12 +31,14 @@ Examples
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
 __all__ = [
     "Span",
     "TraceAnalysis",
+    "nearest_rank",
     "load_events",
     "analyze_events",
     "analyze_trace",
@@ -72,12 +74,24 @@ class Span:
         return out
 
 
-def _percentile(ordered: list[float], q: float) -> float:
-    """Exact nearest-rank percentile of a pre-sorted sample list."""
+def nearest_rank(ordered: list[float], q: float) -> float:
+    """Exact nearest-rank percentile of a pre-sorted sample list.
+
+    The nearest-rank definition: the q-quantile of n samples is the
+    ``ceil(q*n)``-th smallest (1-based), i.e. the smallest sample with at
+    least a fraction ``q`` of the data at or below it.  Unlike the
+    ``round(q*(n-1))`` index this never interpolates past the rank — for
+    100 samples p50 is the 50th value, not the 51st — and for ``n == 1``
+    every quantile is the lone sample.  Empty input returns 0.0.
+    """
     if not ordered:
         return 0.0
-    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
-    return ordered[idx]
+    idx = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[min(len(ordered) - 1, idx)]
+
+
+#: Backwards-compatible alias used throughout this module.
+_percentile = nearest_rank
 
 
 def _latency_summary(durations: list[float]) -> dict:

@@ -227,3 +227,55 @@ class TestServeCommand:
         bad = tmp_path / "no" / "r.json"
         assert main(self.ARGS + ["--report", str(bad)]) == 2
         assert "cannot write report file" in capsys.readouterr().err
+
+
+class TestDurabilityCommand:
+    ARGS = ["durability", "--stripes", "300", "--years", "3", "--seed", "4"]
+
+    def test_runs_and_prints_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Durability" in out
+        for scheme in ("rs", "msr", "ecfusion"):
+            assert scheme in out
+
+    def test_report_has_durability_section(self, tmp_path):
+        report = tmp_path / "dur.json"
+        args = self.ARGS + ["--topology", "geo", "--report", str(report)]
+        assert main(args) == 0
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.report/v1"
+        assert doc["experiments"] == ["durability"]
+        section = doc["durability"]
+        assert section["topology"]["name"] == "geo"
+        assert [s["scheme"] for s in section["schemes"]] == ["rs", "msr", "ecfusion"]
+        for entry in section["schemes"]:
+            assert "mttdl_ci_hours" in entry and "pdl_ci" in entry
+            assert entry["analytic_mttdl_hours"] > 0
+
+    def test_scheme_subset(self, tmp_path):
+        report = tmp_path / "dur.json"
+        args = self.ARGS + ["--schemes", "rs", "ecfusion", "--report", str(report)]
+        assert main(args) == 0
+        section = json.loads(report.read_text())["durability"]
+        assert [s["scheme"] for s in section["schemes"]] == ["rs", "ecfusion"]
+
+    def test_jobs_flag_byte_identical(self, tmp_path):
+        r1 = tmp_path / "a.json"
+        r2 = tmp_path / "b.json"
+        args = self.ARGS + ["--topology", "geo"]
+        assert main(args + ["--report", str(r1)]) == 0
+        assert main(args + ["--jobs", "2", "--report", str(r2)]) == 0
+        assert r1.read_text() == r2.read_text()
+
+    def test_refuses_to_share_the_run(self, capsys):
+        assert main(["durability", "fig13"]) == 2
+        assert "durability" in capsys.readouterr().err
+
+    def test_rejects_bad_jobs(self, capsys):
+        assert main(self.ARGS + ["--jobs", "0"]) == 2
+
+    def test_unwritable_report_fails_fast(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "r.json"
+        assert main(self.ARGS + ["--report", str(bad)]) == 2
+        assert "cannot write report file" in capsys.readouterr().err

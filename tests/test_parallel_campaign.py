@@ -185,3 +185,35 @@ def test_snapshot_merge_appends_series():
     assert dst.labels() == ["run-a"]
     assert dst.get("run-a").column("depth") == [1.0, 3.0]
     assert dst.to_dict() == src.to_dict()
+
+
+def _square(x):
+    return x * x
+
+
+def test_map_tasks_preserves_order():
+    from repro.experiments import map_tasks
+
+    tasks = list(range(23))
+    assert map_tasks(_square, tasks, jobs=1) == [x * x for x in tasks]
+    assert map_tasks(_square, tasks, jobs=3) == [x * x for x in tasks]
+
+
+def test_map_tasks_rejects_bad_jobs():
+    from repro.experiments import map_tasks
+
+    with pytest.raises(ValueError):
+        map_tasks(_square, [1, 2], jobs=0)
+
+
+def test_durability_jobs_byte_identical_to_serial():
+    """The durability sweep rides map_tasks; its report section must not
+    depend on the job count (same contract as run_campaign --jobs)."""
+    from repro.durability import DurabilityConfig, TOPOLOGIES, run_durability
+
+    config = DurabilityConfig(
+        stripes=200, years=3.0, seed=9, topology=TOPOLOGIES["rack"]
+    )
+    serial = run_durability(config, jobs=1)
+    fanned = run_durability(config, jobs=3)
+    assert json.dumps(serial, sort_keys=True) == json.dumps(fanned, sort_keys=True)

@@ -1,0 +1,113 @@
+"""Property suite for hierarchical (node → rack → DC) placement.
+
+The spreading invariants the durability engine and the chaos faults
+lean on, checked over randomly drawn valid hierarchies:
+
+* no stripe keeps more than ⌈width/racks⌉ chunks in any rack, nor more
+  than ⌈width/dcs⌉ chunks in any DC;
+* placement is a deterministic, total function of the stripe index;
+* invalid hierarchies (dcs > racks, racks not divisible by dcs,
+  racks > nodes) are rejected with clear errors.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NameNode
+
+
+@st.composite
+def hierarchies(draw):
+    """A valid (NameNode, width) pair: whole racks, dcs | racks, and
+    enough nodes per rack to hold ⌈width/racks⌉ chunks distinctly."""
+    dcs = draw(st.integers(1, 4))
+    racks = dcs * draw(st.integers(1, 3))
+    width = draw(st.integers(1, 12))
+    per_rack = max(draw(st.integers(1, 4)), -(-width // racks))
+    return NameNode(racks * per_rack, width, racks=racks, dcs=dcs)
+
+
+class TestSpreadingBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(hierarchies(), st.integers(0, 200))
+    def test_rack_and_dc_bounds(self, nn, index):
+        placement = nn.placement_for(index)
+        per_rack = {}
+        per_dc = {}
+        for node in placement:
+            per_rack[nn.rack_of(node)] = per_rack.get(nn.rack_of(node), 0) + 1
+            per_dc[nn.dc_of(node)] = per_dc.get(nn.dc_of(node), 0) + 1
+        assert max(per_rack.values()) <= math.ceil(nn.width / nn.racks)
+        assert max(per_dc.values()) <= math.ceil(nn.width / nn.dcs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies(), st.integers(0, 200))
+    def test_placement_total_and_distinct(self, nn, index):
+        placement = nn.placement_for(index)
+        assert len(placement) == nn.width
+        assert len(set(placement)) == nn.width  # no node holds two chunks
+        assert all(0 <= node < nn.num_nodes for node in placement)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies(), st.integers(0, 200))
+    def test_placement_deterministic(self, nn, index):
+        assert nn.placement_for(index) == nn.placement_for(index)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies())
+    def test_lookup_matches_placement_for(self, nn):
+        """Registration order i gets exactly placement_for(i)."""
+        for i in range(5):
+            assert nn.lookup(f"s{i}").placement == nn.placement_for(i)
+
+
+class TestDomainAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies())
+    def test_dc_partitions_racks_and_nodes(self, nn):
+        racks_seen = sorted(r for d in range(nn.dcs) for r in nn.racks_in_dc(d))
+        assert racks_seen == list(range(nn.racks))
+        nodes_seen = sorted(n for d in range(nn.dcs) for n in nn.nodes_in_dc(d))
+        assert nodes_seen == list(range(nn.num_nodes))
+        for d in range(nn.dcs):
+            assert len(nn.racks_in_dc(d)) == nn.racks // nn.dcs
+
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies())
+    def test_dc_of_consistent_with_rack_striping(self, nn):
+        for node in range(nn.num_nodes):
+            assert nn.dc_of(node) == nn.rack_of(node) % nn.dcs
+            assert node in nn.nodes_in_dc(nn.dc_of(node))
+
+
+class TestInvalidHierarchies:
+    def test_dcs_exceeding_racks(self):
+        with pytest.raises(ValueError, match="dcs must be in"):
+            NameNode(12, 4, racks=2, dcs=3)
+
+    def test_unequal_dcs(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            NameNode(12, 4, racks=3, dcs=2)
+
+    def test_racks_exceeding_nodes(self):
+        with pytest.raises(ValueError, match="racks must be in"):
+            NameNode(8, 4, racks=9)
+
+    def test_nonpositive_dcs(self):
+        with pytest.raises(ValueError, match="dcs must be in"):
+            NameNode(8, 4, racks=2, dcs=0)
+
+    def test_negative_stripe_index(self):
+        nn = NameNode(8, 4, racks=2, dcs=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            nn.placement_for(-1)
+
+    def test_domain_queries_validate_range(self):
+        nn = NameNode(8, 4, racks=2, dcs=2)
+        with pytest.raises(ValueError):
+            nn.dc_of(99)
+        with pytest.raises(ValueError):
+            nn.racks_in_dc(5)

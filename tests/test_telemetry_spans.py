@@ -89,7 +89,7 @@ class TestSpanReconstruction:
         ]
         agg = analyze_events(events).aggregates()["request"]
         assert agg["count"] == 100
-        assert agg["p50"] == pytest.approx(0.51)  # nearest rank round(q*(n-1))
+        assert agg["p50"] == pytest.approx(0.50)  # nearest rank: ceil(0.5*100) = 50th
         assert agg["p95"] == pytest.approx(0.95)
         assert agg["p99"] == pytest.approx(0.99)
         assert agg["max"] == pytest.approx(1.0)
@@ -180,3 +180,45 @@ class TestTimer:
             with telemetry.METRICS.timer("t.lat"):
                 raise RuntimeError("boom")
         assert telemetry.METRICS.histogram("t.lat").count == 0
+
+
+class TestNearestRank:
+    """Edge cases of the shared nearest-rank percentile.
+
+    One canonical implementation (``telemetry.nearest_rank``) backs the
+    span analytics, the serving load generator, and the causal tail
+    explainer; these regressions pin the definition: the q-quantile of n
+    samples is the ``ceil(q*n)``-th smallest, 1-based.
+    """
+
+    def test_single_sample_every_quantile(self):
+        for q in (0.0, 0.5, 0.999, 1.0):
+            assert telemetry.nearest_rank([42.0], q) == 42.0
+
+    def test_empty_series(self):
+        assert telemetry.nearest_rank([], 0.5) == 0.0
+
+    def test_p50_of_even_count_is_lower_middle(self):
+        # ceil(0.5*100) = 50 → the 50th smallest, NOT the 51st that the
+        # old round(q*(n-1)) index produced
+        ordered = [float(i + 1) for i in range(100)]
+        assert telemetry.nearest_rank(ordered, 0.5) == 50.0
+        assert telemetry.nearest_rank(ordered, 0.999) == 100.0
+        assert telemetry.nearest_rank(ordered, 0.99) == 99.0
+
+    def test_two_samples(self):
+        assert telemetry.nearest_rank([1.0, 2.0], 0.5) == 1.0
+        assert telemetry.nearest_rank([1.0, 2.0], 0.51) == 2.0
+
+    def test_q_zero_is_minimum(self):
+        assert telemetry.nearest_rank([3.0, 7.0, 9.0], 0.0) == 3.0
+
+    def test_loadgen_and_causal_share_the_definition(self):
+        from repro.server.loadgen import _exact_percentile
+        from repro.telemetry import causal
+
+        samples = [float(i + 1) for i in range(10)]
+        for q in (0.5, 0.9, 0.999):
+            expect = telemetry.nearest_rank(samples, q)
+            assert _exact_percentile(list(reversed(samples)), q) == expect
+            assert causal._percentile(samples, q) == expect
