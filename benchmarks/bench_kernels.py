@@ -9,9 +9,18 @@ specifications they replaced:
   speedup is strongly size-dependent (the fused plan amortises best when
   per-coefficient work is tiny), so every row discloses its block size.
 * RS parity encode: :class:`CodingPlan` vs ``apply_to_blocks_naive`` on
-  the same generator rows.
-* The plan's two execution paths (single-gather vs per-coefficient-group
+  the same generator rows, up through MB-scale blocks where the wide
+  backends (``pair``/``native``) take over from ``translate``.
+* Stripe-batched entry points (``encode_batch`` / ``repair_batch``)
+  against the equivalent per-stripe loop — the fold amortises dispatch
+  overhead across the batch.
+* The plan's execution paths (single-gather vs per-coefficient-group
   translate) on either side of the dispatch threshold.
+
+Each sized entry also discloses which kernel backend the plan's
+crossover heuristic selected at that block size (``backend`` key), so
+baseline drift can be attributed to a selection change vs a kernel
+regression.
 
 Every timed pair is also checked byte-identical before it is reported.
 
@@ -33,7 +42,14 @@ from repro.experiments import format_table
 from repro.gf import CodingPlan, apply_to_blocks_naive
 
 #: (label, per-node block bytes) — must be multiples of l = r² = 16
-REPAIR_BLOCK_SIZES = [("256B", 256), ("1KB", 1024), ("4KB", 4096), ("64KB", 65536)]
+REPAIR_BLOCK_SIZES = [
+    ("256B", 256),
+    ("1KB", 1024),
+    ("4KB", 4096),
+    ("64KB", 65536),
+    ("1MB", 1 << 20),
+    ("4MB", 1 << 22),
+]
 
 
 def _best_of(fn, repeats: int = 5, min_time: float = 0.02) -> float:
@@ -67,6 +83,7 @@ def _naive_repair(code: MSRCode, failed: int, shards: dict) -> np.ndarray:
 
 def test_msr_repair_fused_vs_naive(save_result):
     code = MSRCode(8, 4, verify="off")  # r=4 -> l=16, the paper's wide stripe
+    l = code.subpacketization
     rng = np.random.default_rng(1)
     failed = 0
     rows, entries = [], []
@@ -81,11 +98,13 @@ def test_msr_repair_fused_vs_naive(save_result):
         t_fused = _best_of(lambda: code.repair(failed, shards))
         speedup = t_naive / t_fused
         mbps = block / t_fused / 1e6
-        rows.append([label, t_naive * 1e6, t_fused * 1e6, speedup, mbps])
+        backend = code._repair_fused[failed].backend_for(block // l)
+        rows.append([label, backend, t_naive * 1e6, t_fused * 1e6, speedup, mbps])
         entries.append(
             {
                 "name": f"msr_repair.{label}",
                 "block_bytes": block,
+                "backend": backend,
                 "naive_us": t_naive * 1e6,
                 "fused_us": t_fused * 1e6,
                 "speedup": speedup,
@@ -95,7 +114,7 @@ def test_msr_repair_fused_vs_naive(save_result):
             }
         )
     text = format_table(
-        ["block", "naive us", "fused us", "speedup", "fused MB/s"],
+        ["block", "backend", "naive us", "fused us", "speedup", "fused MB/s"],
         rows,
         title="MSR(8,4) single-node repair — fused plan vs plane-looped reference",
     )
@@ -112,7 +131,13 @@ def test_rs_encode_plan_vs_naive(save_result):
     gen = rs.parity_matrix  # the parity rows encode() applies
     rng = np.random.default_rng(2)
     rows, entries = [], []
-    for label, block in [("1KB", 1024), ("64KB", 65536)]:
+    sizes = [
+        ("1KB", 1024),
+        ("64KB", 65536),
+        ("1MB", 1 << 20),
+        ("4MB", 1 << 22),
+    ]
+    for label, block in sizes:
         data = rng.integers(0, 256, (rs.k, block), dtype=np.uint8)
         plan = CodingPlan(gen, w=8)
         assert np.array_equal(plan.apply(data), apply_to_blocks_naive(gen, data))
@@ -120,11 +145,13 @@ def test_rs_encode_plan_vs_naive(save_result):
         t_plan = _best_of(lambda: plan.apply(data))
         speedup = t_naive / t_plan
         mbps = data.nbytes / t_plan / 1e6
-        rows.append([label, t_naive * 1e6, t_plan * 1e6, speedup, mbps])
+        backend = plan.backend_for(block)
+        rows.append([label, backend, t_naive * 1e6, t_plan * 1e6, speedup, mbps])
         entries.append(
             {
                 "name": f"rs_encode.{label}",
                 "block_bytes": block,
+                "backend": backend,
                 "naive_us": t_naive * 1e6,
                 "plan_us": t_plan * 1e6,
                 "speedup": speedup,
@@ -133,12 +160,94 @@ def test_rs_encode_plan_vs_naive(save_result):
             }
         )
     text = format_table(
-        ["block", "naive us", "plan us", "speedup", "plan MB/s"],
+        ["block", "backend", "naive us", "plan us", "speedup", "plan MB/s"],
         rows,
         title="RS(8,3) parity encode — CodingPlan vs naive triple loop",
     )
     save_result("kernels_rs_encode", text, data={"entries": entries})
     assert all(e["speedup"] > 1.0 for e in entries)
+
+
+def test_batched_stripes_vs_loop(save_result):
+    """Stripe-batched entry points vs the per-stripe loop they replace.
+
+    ``encode_batch``/``repair_batch`` fold a uniform batch into one wide
+    kernel dispatch; at small per-stripe blocks the win is amortised
+    plan/validation overhead, so the batch shapes here use 4–16 KB
+    stripes — the object-store serving layer's chunk regime.
+    """
+    rng = np.random.default_rng(5)
+    rows, entries = [], []
+
+    rs = ReedSolomonCode(8, 3)
+    batch, block = 64, 4096
+    stacked = rng.integers(0, 256, (batch, rs.k, block), dtype=np.uint8)
+    loop_out = [rs.encode(s) for s in stacked]
+    batch_out = rs.encode_batch(stacked)
+    for a, b in zip(loop_out, batch_out):
+        assert np.array_equal(a, b), "encode_batch diverged from the loop"
+    t_loop = _best_of(lambda: [rs.encode(s) for s in stacked])
+    t_batch = _best_of(lambda: rs.encode_batch(stacked))
+    speedup = t_loop / t_batch
+    mbps = stacked.nbytes / t_batch / 1e6
+    rows.append([f"rs_encode {batch}x4KB", t_loop * 1e3, t_batch * 1e3, speedup, mbps])
+    entries.append(
+        {
+            "name": f"batch.rs_encode.{batch}x4KB",
+            "batch": batch,
+            "block_bytes": block,
+            "loop_us": t_loop * 1e6,
+            "batch_us": t_batch * 1e6,
+            "speedup": speedup,
+            "throughput_mb_s": mbps,
+            "compare": {"speedup": speedup},
+        }
+    )
+
+    msr = MSRCode(8, 4, verify="off")
+    batch, block = 32, 16384
+    failed = 0
+    data = rng.integers(0, 256, (batch, msr.k, block), dtype=np.uint8)
+    coded = msr.encode_batch(data)
+    shards = {
+        i: np.ascontiguousarray(coded[:, i]) for i in range(msr.n) if i != failed
+    }
+    loop_res = [
+        msr.repair(failed, {i: s[b] for i, s in shards.items()}) for b in range(batch)
+    ]
+    batch_res = msr.repair_batch(failed, shards)
+    for a, b in zip(loop_res, batch_res):
+        assert np.array_equal(a.block, b.block), "repair_batch diverged from the loop"
+    t_loop = _best_of(
+        lambda: [
+            msr.repair(failed, {i: s[b] for i, s in shards.items()})
+            for b in range(batch)
+        ]
+    )
+    t_batch = _best_of(lambda: msr.repair_batch(failed, shards))
+    speedup = t_loop / t_batch
+    mbps = batch * block / t_batch / 1e6
+    rows.append([f"msr_repair {batch}x16KB", t_loop * 1e3, t_batch * 1e3, speedup, mbps])
+    entries.append(
+        {
+            "name": f"batch.msr_repair.{batch}x16KB",
+            "batch": batch,
+            "block_bytes": block,
+            "loop_us": t_loop * 1e6,
+            "batch_us": t_batch * 1e6,
+            "speedup": speedup,
+            "throughput_mb_s": mbps,
+            "compare": {"speedup": speedup},
+        }
+    )
+
+    text = format_table(
+        ["shape", "loop ms", "batch ms", "speedup", "batch MB/s"],
+        rows,
+        title="Stripe-batched dispatch vs per-stripe loop",
+    )
+    save_result("kernels_batch", text, data={"entries": entries})
+    assert all(e["speedup"] > 1.0 for e in entries), entries
 
 
 def test_plan_dispatch_paths(save_result):

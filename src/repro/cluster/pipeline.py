@@ -24,7 +24,11 @@ makespan drops from ``k·γ/λ`` through one NIC to roughly
 coordinator-bound.  The functional twin of this schedule — real bytes,
 same chunking, same partial sums — is ``repair_streamed`` on both codecs
 and :meth:`repro.fusion.ECFusion.recover_streamed`, property-tested
-byte-identical to the one-shot repair.
+byte-identical to the one-shot repair.  Those streamed kernels fold each
+helper's contribution zero-copy into a donated accumulator
+(``GF.scale_xor_into`` / ``CodingPlan.apply_into(..., accumulate=True)``
+over preallocated per-chunk scratch), so chunking costs scheduling, not
+allocations.
 
 Chaos composes: every hop runs the executor's reachability protocol, so a
 mid-pipeline kill fails the job fast with

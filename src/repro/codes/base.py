@@ -283,6 +283,47 @@ class LinearVectorCode(ErasureCode):
             )
         return self._to_blocks(out, self.n)
 
+    def encode_batch(self, stripes: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, k, L)`` stack of stripes in one fused dispatch.
+
+        Every stripe multiplies the same compiled parity plan, so the whole
+        batch folds into a single
+        :meth:`~repro.gf.CodingPlan.apply_batch` application instead of
+        ``batch`` separate kernel launches — the per-stripe NumPy dispatch
+        overhead that dominates campaign encodes of small blocks
+        disappears.  Byte-identical to looping :meth:`encode`, including
+        the telemetry counters it leaves behind.
+        """
+        stripes = np.asarray(stripes)
+        if stripes.ndim != 3 or stripes.shape[1] != self.k:
+            raise ValueError(
+                f"stripes must have shape (batch, k={self.k}, L), got {stripes.shape}"
+            )
+        batch, _, L = stripes.shape
+        if L % self.subpacketization:
+            raise ValueError(
+                f"block length {L} not a multiple of "
+                f"sub-packetization {self.subpacketization}"
+            )
+        if stripes.dtype.itemsize > np.dtype(self.symbol_dtype).itemsize:
+            raise ValueError(
+                f"data dtype {stripes.dtype} is wider than GF(2^{self.w}) symbols"
+            )
+        stripes = np.ascontiguousarray(stripes, dtype=self.symbol_dtype)
+        l = self.subpacketization
+        syms = stripes.reshape(batch, self.k * l, L // l)
+        parity_syms = self._parity_plan.apply_batch(syms)
+        out = np.empty((batch, self.n, L), dtype=self.symbol_dtype)
+        out[:, : self.k] = stripes
+        out[:, self.k :] = parity_syms.reshape(batch, self.n - self.k, L)
+        if METRICS.enabled and batch:
+            key = self.telemetry_key
+            METRICS.counter(f"codes.{key}.encode_calls", unit="calls").inc(batch)
+            METRICS.counter(f"codes.{key}.gf_mul_bytes", unit="bytes").inc(
+                batch * self.r * self.k * l * L
+            )
+        return out
+
     # -- decode ----------------------------------------------------------------
     def _decode_plan(self, avail: frozenset[int]) -> tuple[CodingPlan, list[int]]:
         """Return (solve_plan, symbol_rows) for an erasure pattern.
@@ -349,6 +390,56 @@ class LinearVectorCode(ErasureCode):
                 self.k * self.k * l * L
             )
         return self._to_blocks(data_syms, self.k)
+
+    def decode_data_batch(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Degraded-read storm: decode a batch sharing one erasure pattern.
+
+        ``shards`` maps each surviving node to a ``(batch, L)`` stack —
+        the same availability across every stripe, which is exactly what a
+        node failure produces.  One cached solve plan is batch-applied in
+        a single dispatch; byte-identical to looping :meth:`decode_data`
+        stripe by stripe (telemetry included).  Returns ``(batch, k, L)``.
+        """
+        if not shards:
+            raise UnrecoverableError("no shards supplied")
+        arrs = {}
+        shapes = set()
+        for i, b in shards.items():
+            if not 0 <= i < self.n:
+                raise ValueError(f"shard index {i} out of range for n={self.n}")
+            arr = np.asarray(b)
+            if arr.ndim != 2:
+                raise ValueError(
+                    f"batched shards must be (batch, L) stacks, got {arr.shape}"
+                )
+            if arr.dtype.itemsize > np.dtype(self.symbol_dtype).itemsize:
+                raise ValueError(
+                    f"shard dtype {arr.dtype} is wider than GF(2^{self.w}) symbols"
+                )
+            shapes.add(arr.shape)
+            arrs[i] = np.ascontiguousarray(arr, dtype=self.symbol_dtype)
+        if len(shapes) != 1:
+            raise ValueError(f"inconsistent shard shapes: {shapes}")
+        batch, L = shapes.pop()
+        if L % self.subpacketization:
+            raise ValueError(
+                f"block length {L} not a multiple of l={self.subpacketization}"
+            )
+        avail = frozenset(arrs)
+        solve_plan, symbol_rows = self._decode_plan(avail)
+        l = self.subpacketization
+        stacked = np.stack([arrs[i] for i in sorted(avail)], axis=1)
+        syms = stacked.reshape(batch, len(avail) * l, L // l)
+        order = {node: pos for pos, node in enumerate(sorted(avail))}
+        local_rows = [order[row // l] * l + (row % l) for row in symbol_rows]
+        data_syms = solve_plan.apply_batch(np.ascontiguousarray(syms[:, local_rows]))
+        if METRICS.enabled and batch:
+            key = self.telemetry_key
+            METRICS.counter(f"codes.{key}.decode_calls", unit="calls").inc(batch)
+            METRICS.counter(f"codes.{key}.gf_mul_bytes", unit="bytes").inc(
+                batch * self.k * self.k * l * L
+            )
+        return data_syms.reshape(batch, self.k, L)
 
     def decode(self, shards: Mapping[int, np.ndarray]) -> np.ndarray:
         return self.encode(self.decode_data(shards))

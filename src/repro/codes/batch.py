@@ -1,14 +1,25 @@
 """Batch coding: encode/repair many stripes in parallel.
 
 Storage systems never encode one stripe at a time — ingest pipelines and
-recovery storms process thousands.  NumPy's table-gather and XOR kernels
-release the GIL on large arrays, so a thread pool gives near-linear
-speedups on the byte-level work without any multiprocessing serialisation
-cost (the arrays are shared, not pickled).
+recovery storms process thousands.  Two execution strategies live here:
+
+* **Vectorized fast path** — when every stripe in the batch shares one
+  shape (and, for repair, one failure pattern — exactly what a node
+  failure produces), the whole batch collapses into a single stacked
+  array and one fused kernel dispatch per compiled plan
+  (``code.encode_batch`` / ``decode_data_batch`` / ``repair_batch``,
+  built on :meth:`repro.gf.CodingPlan.apply_batch`).  Byte-identical to
+  the loop, including telemetry totals.
+* **Thread pool** — ragged shapes or heterogeneous jobs fall back to the
+  original per-stripe pool.  NumPy's table-gather and XOR kernels
+  release the GIL on large arrays, so threads still give near-linear
+  speedups without multiprocessing serialisation cost (the arrays are
+  shared, not pickled).
 
 The functions preserve input order and surface worker exceptions
-eagerly.  ``max_workers=1`` degrades to a plain loop, which keeps the
-batch API usable in contexts where spawning threads is undesirable.
+eagerly.  ``max_workers=1`` degrades to a plain loop for the ragged
+path, which keeps the batch API usable in contexts where spawning
+threads is undesirable.
 """
 
 from __future__ import annotations
@@ -31,12 +42,47 @@ def _run(fn, jobs, max_workers: int):
         return [f.result() for f in futures]  # re-raises worker exceptions
 
 
+def _uniform_stack(arrays: list[np.ndarray]) -> np.ndarray | None:
+    """Stack arrays sharing one shape and dtype, else None (ragged batch)."""
+    first = arrays[0]
+    for a in arrays[1:]:
+        if a.shape != first.shape or a.dtype != first.dtype:
+            return None
+    return np.stack(arrays)
+
+
+def _uniform_shard_stack(
+    maps: list[Mapping[int, np.ndarray]],
+) -> dict[int, np.ndarray] | None:
+    """Stack per-node shards across stripes when keys and shapes agree."""
+    keys = sorted(maps[0])
+    arrs: dict[int, list[np.ndarray]] = {i: [] for i in keys}
+    for m in maps:
+        if sorted(m) != keys:
+            return None
+        for i in keys:
+            a = np.asarray(m[i])
+            if a.ndim != 1 or (arrs[i] and a.shape != arrs[i][0].shape):
+                return None
+            arrs[i].append(a)
+    stacked = {}
+    for i in keys:
+        s = _uniform_stack(arrs[i])
+        if s is None:
+            return None
+        stacked[i] = s
+    return stacked
+
+
 def encode_batch(
     code: ErasureCode,
     stripes: Sequence[np.ndarray],
     max_workers: int = 4,
 ) -> list[np.ndarray]:
     """Encode many stripes concurrently; results keep input order.
+
+    Uniform ``(k, L)`` batches take the single-dispatch vectorized path
+    (``code.encode_batch``); ragged batches fall back to the thread pool.
 
     Parameters
     ----------
@@ -46,10 +92,18 @@ def encode_batch(
     stripes:
         Each of shape (k, L).
     max_workers:
-        Thread-pool width; 1 = sequential.
+        Thread-pool width for the ragged path; 1 = sequential.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    stripes = [np.asarray(s) for s in stripes]
+    fast = getattr(code, "encode_batch", None)
+    if fast is not None and len(stripes) > 1:
+        good = all(s.ndim == 2 and s.shape == (code.k, s.shape[1]) for s in stripes)
+        if good:
+            stacked = _uniform_stack(stripes)
+            if stacked is not None:
+                return list(fast(stacked))
     return _run(lambda d: code.encode(d), [(s,) for s in stripes], max_workers)
 
 
@@ -58,9 +112,20 @@ def decode_batch(
     shard_maps: Sequence[Mapping[int, np.ndarray]],
     max_workers: int = 4,
 ) -> list[np.ndarray]:
-    """Decode many partially-erased stripes concurrently."""
+    """Decode many partially-erased stripes concurrently.
+
+    Batches sharing one erasure pattern and shard shape — a degraded-read
+    storm — run as one batched decode plus one batched re-encode.
+    """
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    shard_maps = list(shard_maps)
+    fast_decode = getattr(code, "decode_data_batch", None)
+    fast_encode = getattr(code, "encode_batch", None)
+    if fast_decode is not None and fast_encode is not None and len(shard_maps) > 1:
+        stacked = _uniform_shard_stack(shard_maps)
+        if stacked is not None:
+            return list(fast_encode(fast_decode(stacked)))
     return _run(lambda m: code.decode(m), [(m,) for m in shard_maps], max_workers)
 
 
@@ -72,8 +137,19 @@ def repair_batch(
     """Run many single-node repairs concurrently.
 
     ``jobs`` is a sequence of (failed_node, surviving_shards) pairs — the
-    shape of a node-failure recovery storm.
+    shape of a node-failure recovery storm.  When every job repairs the
+    *same* node from the same survivor set (one failed node, many
+    stripes), the batch runs through ``code.repair_batch`` in fused
+    dispatches instead of the pool.
     """
     if max_workers < 1:
         raise ValueError("max_workers must be >= 1")
+    jobs = list(jobs)
+    fast = getattr(code, "repair_batch", None)
+    if fast is not None and len(jobs) > 1:
+        failed0 = jobs[0][0]
+        if all(f == failed0 for f, _ in jobs):
+            stacked = _uniform_shard_stack([m for _, m in jobs])
+            if stacked is not None:
+                return fast(failed0, stacked)
     return _run(lambda f, m: code.repair(f, m), list(jobs), max_workers)

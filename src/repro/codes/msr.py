@@ -546,6 +546,73 @@ class MSRCode(LinearVectorCode):
             )
         return RepairResult(block=failed_block.reshape(L), bytes_read=bytes_read)
 
+    def repair_batch(
+        self, failed: int, shards: Mapping[int, np.ndarray]
+    ) -> list[RepairResult]:
+        """Repair the same failed node across a batch of stripes at once.
+
+        ``shards`` maps each surviving node to a ``(batch, L)`` stack.
+        With all ``n − 1`` helpers present the fused ``(l × n·l)`` repair
+        plan is batch-applied in one dispatch; with fewer survivors each
+        stripe falls back to :meth:`repair` (full decode), exactly like
+        the scalar path.  Byte-identical (results and telemetry) to
+        calling :meth:`repair` stripe by stripe.
+        """
+        if not 0 <= failed < self.n:
+            raise ValueError(f"failed node {failed} out of range for n={self.n}")
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        gf = GF.get(self._w)
+        arrs = {}
+        shapes = set()
+        for i, b in shards.items():
+            arr = np.ascontiguousarray(np.asarray(b), dtype=gf.dtype)
+            if arr.ndim != 2:
+                raise ValueError(
+                    f"batched shards must be (batch, L) stacks, got {arr.shape}"
+                )
+            shapes.add(arr.shape)
+            arrs[i] = arr
+        if len(shapes) != 1:
+            raise ValueError(f"inconsistent shard shapes: {shapes}")
+        batch, L = shapes.pop()
+        helpers = set(range(self.n)) - {failed}
+        if not helpers <= set(arrs):
+            return [
+                self.repair(failed, {i: a[b] for i, a in arrs.items()})
+                for b in range(batch)
+            ]
+        l = self.subpacketization
+        if L % l:
+            raise ValueError(f"block length {L} not a multiple of l={l}")
+        sub = L // l
+        planes = self.repair_planes(failed)
+        known_nodes = self._repair_solvers[failed][1]
+
+        S = np.zeros((batch, self.n * l, sub), dtype=gf.dtype)
+        for i in helpers:
+            S[:, i * l : (i + 1) * l] = arrs[i].reshape(batch, l, sub)
+        blocks = self._repair_fused[failed].apply_batch(S)
+
+        if METRICS.enabled and batch:
+            METRICS.counter("codes.msr.repair_calls", unit="calls").inc(batch)
+            per_plane = (
+                2 * len(known_nodes)
+                + self.r * len(known_nodes)
+                + self.r * self.r
+                + 3 * (self.s - 1)
+            )
+            METRICS.counter("codes.msr.gf_mul_bytes", unit="bytes").inc(
+                batch * len(planes) * sub * per_plane
+            )
+        return [
+            RepairResult(
+                block=blocks[b].reshape(L),
+                bytes_read={i: len(planes) * sub for i in helpers},
+            )
+            for b in range(batch)
+        ]
+
     # ------------------------------------------------------- streamed repair
     def repair_helper_plan(self, failed: int, helper: int) -> CodingPlan:
         """The compiled ``(l × l/s)`` partial-combination kernel for one helper.
@@ -580,9 +647,13 @@ class MSRCode(LinearVectorCode):
         to pipeline).  Splits the within-plane axis into output chunks of
         about ``chunk_size`` bytes and folds one helper's partial at a
         time via :meth:`repair_helper_plan` — the same partial sums each
-        hop of a repair pipeline would stream.  The column split and the
-        helper split both commute with the GF sums of the fused matrix
-        application, so the result is byte-identical to :meth:`repair`.
+        hop of a repair pipeline would stream.  The fold is zero-copy in
+        steady state: each helper's strided chunk is copied into one
+        reused contiguous staging buffer and the plan accumulates into a
+        reused partial buffer (``apply_into``), so no per-chunk arrays are
+        allocated.  The column split and the helper split both commute
+        with the GF sums of the fused matrix application, so the result
+        is byte-identical to :meth:`repair`.
         """
         shards = self._check_shards(shards)
         if failed in shards:
@@ -604,14 +675,28 @@ class MSRCode(LinearVectorCode):
             METRICS.counter("codes.msr.repair_streamed_calls", unit="calls").inc()
         # chunk the within-plane axis so one output chunk is ~chunk_size bytes
         cols = max(1, min(sub, chunk_size // l))
-        acc = np.zeros((l, sub), dtype=next(iter(shards.values())).dtype)
+        dtype = next(iter(shards.values())).dtype
+        acc = np.zeros((l, sub), dtype=dtype)
         views = {i: shards[i].reshape(l, sub)[planes] for i in helpers}
+        P = len(planes)
+        # reused staging/partial buffers, one pair per distinct chunk width
+        # (the full width plus at most one ragged tail) — the steady-state
+        # loop allocates nothing
+        bufs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for start in range(0, sub, cols):
             stop = min(start + cols, sub)
-            for helper in helpers:
-                partial = self.repair_helper_plan(failed, helper).apply(
-                    np.ascontiguousarray(views[helper][:, start:stop])
+            pair = bufs.get(stop - start)
+            if pair is None:
+                pair = bufs[stop - start] = (
+                    np.empty((P, stop - start), dtype=dtype),
+                    np.empty((l, stop - start), dtype=dtype),
                 )
-                acc[:, start:stop] ^= partial
+            staging, partial = pair
+            for pos, helper in enumerate(helpers):
+                np.copyto(staging, views[helper][:, start:stop])
+                self.repair_helper_plan(failed, helper).apply_into(
+                    staging, partial, accumulate=pos > 0
+                )
+            acc[:, start:stop] = partial
         bytes_read = {i: len(planes) * sub for i in helpers}
         return RepairResult(block=acc.reshape(L), bytes_read=bytes_read)

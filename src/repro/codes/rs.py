@@ -20,7 +20,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..gf import CodingPlan, apply_to_blocks, inverse, matmul, systematic_rs_parity
+from ..gf import GF, CodingPlan, apply_to_blocks, inverse, matmul, systematic_rs_parity
 from ..telemetry import METRICS
 from .base import LinearVectorCode, ParameterError, RepairResult
 
@@ -55,6 +55,7 @@ class ReedSolomonCode(LinearVectorCode):
         # scaling plans, built lazily by the streamed/pipelined repair path
         self._repair_coeff_cache: dict[tuple, np.ndarray] = {}
         self._scale_plans: dict[int, CodingPlan] = {}
+        self._parity_row_plans: dict[int, CodingPlan] = {}
 
     #: counters land under ``codes.rs.*``
     telemetry_key = "rs"
@@ -89,6 +90,44 @@ class ReedSolomonCode(LinearVectorCode):
             block = apply_to_blocks(row, data, w=self.w)[0]
         bytes_read = {i: shards[i].shape[0] for i in helpers}
         return RepairResult(block=block, bytes_read=bytes_read)
+
+    def _parity_row_plan(self, failed: int) -> CodingPlan:
+        """Compiled single parity row (re-derives one lost parity block)."""
+        plan = self._parity_row_plans.get(failed)
+        if plan is None:
+            row = self.parity_matrix[failed - self.k : failed - self.k + 1]
+            plan = self._parity_row_plans[failed] = CodingPlan(row, w=self.w)
+        return plan
+
+    def repair_batch(
+        self, failed: int, shards: Mapping[int, np.ndarray]
+    ) -> list[RepairResult]:
+        """Repair the same failed node across a batch of stripes at once.
+
+        ``shards`` maps each surviving node to a ``(batch, L)`` stack — the
+        access pattern a node failure produces (every stripe loses the same
+        index).  One batched decode plus, for a lost parity, one batched
+        parity-row application replace ``batch`` separate dispatches;
+        byte-identical (results and telemetry) to calling :meth:`repair`
+        stripe by stripe.
+        """
+        if not 0 <= failed < self.n:
+            raise ValueError(f"failed node {failed} out of range for n={self.n}")
+        if failed in shards:
+            raise ValueError(f"node {failed} is present in the supplied shards")
+        helpers = sorted(shards)[: self.k]
+        data = self.decode_data_batch({i: shards[i] for i in helpers})
+        batch, _, L = data.shape
+        if METRICS.enabled and batch:
+            METRICS.counter("codes.rs.repair_calls", unit="calls").inc(batch)
+        if failed < self.k:
+            blocks = np.ascontiguousarray(data[:, failed])
+        else:
+            blocks = self._parity_row_plan(failed).apply_batch(data)[:, 0]
+        return [
+            RepairResult(block=blocks[b], bytes_read={i: L for i in helpers})
+            for b in range(batch)
+        ]
 
     # ------------------------------------------------------- streamed repair
     def repair_coefficients(self, failed: int, helpers: Sequence[int]) -> np.ndarray:
@@ -133,10 +172,12 @@ class ReedSolomonCode(LinearVectorCode):
         Walks the block in ``chunk_size``-byte output chunks and folds one
         helper's scaled chunk at a time into the accumulator, exactly as
         each hop of the cluster's repair pipeline would: helper ``i``
-        computes ``cᵢ · own-chunk`` (a compiled :class:`~repro.gf.CodingPlan`
-        application) and XORs it into the partial sum received from the
-        previous hop.  GF arithmetic is exact, so the result is
-        byte-identical to :meth:`repair` for every chunk size.
+        computes ``cᵢ · own-chunk`` and XORs it into the partial sum
+        received from the previous hop.  The fold is zero-copy — each
+        helper chunk is scaled straight out of its shard view into one
+        reused scratch buffer (:meth:`repro.gf.GF.scale_xor_into`), so the
+        steady state allocates nothing.  GF arithmetic is exact, so the
+        result is byte-identical to :meth:`repair` for every chunk size.
         """
         shards = self._check_shards(shards)
         if failed in shards:
@@ -148,15 +189,21 @@ class ReedSolomonCode(LinearVectorCode):
         L = shards[helpers[0]].shape[0]
         if METRICS.enabled:
             METRICS.counter("codes.rs.repair_streamed_calls", unit="calls").inc()
+        gf = GF.get(self.w)
         acc = np.zeros(L, dtype=shards[helpers[0]].dtype)
+        scratch = (
+            np.empty(min(chunk_size, L), dtype=acc.dtype) if self.w <= 8 else None
+        )
         for start in range(0, L, chunk_size):
             stop = min(start + chunk_size, L)
             for coeff, helper in zip(coeffs, helpers):
                 if not coeff:
                     continue  # helper contributes nothing to this block
-                partial = self._scale_plan(int(coeff)).apply(
-                    shards[helper][np.newaxis, start:stop]
+                gf.scale_xor_into(
+                    acc[start:stop],
+                    int(coeff),
+                    shards[helper][start:stop],
+                    scratch=scratch,
                 )
-                acc[start:stop] ^= partial[0]
         bytes_read = {i: L for i in helpers}
         return RepairResult(block=acc, bytes_read=bytes_read)

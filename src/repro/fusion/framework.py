@@ -210,8 +210,10 @@ class ECFusion:
         :meth:`recover`, but the codec work runs through
         ``repair_streamed`` — helper-by-helper partial sums folded one
         ``chunk_size``-byte output chunk at a time, exactly the partials a
-        hop-by-hop repair pipeline would stream.  Byte-identical to
-        :meth:`recover` for every chunk size (GF sums commute).
+        hop-by-hop repair pipeline would stream.  The folds are zero-copy
+        (scaled in preallocated scratch, XORed into a donated
+        accumulator), and byte-identical to :meth:`recover` for every
+        chunk size (GF sums commute).
         """
         if not 0 <= block < self.k:
             raise ValueError(f"data block index {block} out of range")

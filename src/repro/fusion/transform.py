@@ -310,6 +310,138 @@ class FusionTransformer:
             METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(saved)
         return RsToMsrResult(groups=out_groups, cost=cost)
 
+    def rs_to_msr_batch(
+        self, data: np.ndarray, rs_parity: np.ndarray
+    ) -> list[RsToMsrResult]:
+        """Fault-free RS→MSR conversion for a ``(batch, k, L)`` stripe stack.
+
+        A conversion sweep applies the same group and Trans2 plans to every
+        stripe, so the whole batch goes through each plan's
+        :meth:`~repro.gf.CodingPlan.apply_batch` fast path in one dispatch
+        per plan.  No fault hook — injected faults make control flow
+        diverge per stripe, which is exactly the scalar :meth:`rs_to_msr`
+        path.  Per-stripe results, costs, and telemetry totals are
+        byte-identical to calling :meth:`rs_to_msr` in a loop (the wall
+        timer aside, which ticks once per batch here).
+        """
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        rs_parity = np.ascontiguousarray(rs_parity, dtype=np.uint8)
+        if data.ndim != 3 or data.shape[1] != self.k:
+            raise ValueError(
+                f"data must be (batch, {self.k}, L) stacks, got {data.shape}"
+            )
+        batch, _, L = data.shape
+        self._check_block_len(L)
+        if rs_parity.shape != (batch, self.r, L):
+            raise ValueError(
+                f"rs_parity must be ({batch}, {self.r}, {L}), got {rs_parity.shape}"
+            )
+        with METRICS.timer("fusion.transform.wall.rs_to_msr", unit="s"):
+            return self._rs_to_msr_batch(data, rs_parity)
+
+    def _rs_to_msr_batch(
+        self, data: np.ndarray, rs_parity: np.ndarray
+    ) -> list[RsToMsrResult]:
+        batch, _, L = data.shape
+        l = self.subpacketization
+        if self.padding:
+            pad = np.zeros((batch, self.padding, L), dtype=np.uint8)
+            data = np.concatenate([data, pad], axis=1)
+        groups = [
+            np.ascontiguousarray(data[:, i * self.r : (i + 1) * self.r])
+            for i in range(self.q)
+        ]
+
+        inter: list[np.ndarray | None] = [None] * self.q
+        gf_ops = 0.0
+        for i in range(self.q - 1):
+            inter[i] = self._group_plans[i].apply_batch(groups[i])
+            gf_ops += self.r * self.r * L
+        acc = rs_parity.copy()
+        for i in range(self.q - 1):
+            np.bitwise_xor(acc, inter[i], out=acc)
+        inter[self.q - 1] = acc
+
+        parities = []
+        for i in range(self.q):
+            p_syms = inter[i].reshape(batch, self.r * l, L // l)
+            msr_syms = self._trans2_plans[i].apply_batch(p_syms)
+            parities.append(msr_syms.reshape(batch, self.r, L))
+            gf_ops += self.trans2[i].size * (L / l)
+
+        results = []
+        for b in range(batch):
+            cost = TransformCost(
+                data_blocks_read=(self.q - 1) * self.r,
+                parity_blocks_read=self.r,
+                blocks_written=self.q * self.r,
+                gf_ops=gf_ops,
+            )
+            out_groups = [
+                np.concatenate([groups[i][b], parities[i][b]], axis=0)
+                for i in range(self.q)
+            ]
+            results.append(RsToMsrResult(groups=out_groups, cost=cost))
+        if METRICS.enabled and batch:
+            saved = (self.k - (self.q - 1) * self.r) * L
+            METRICS.counter("fusion.transform.rs_to_msr", unit="conversions").inc(batch)
+            METRICS.counter("fusion.transform.gf_ops", unit="gf-ops").inc(batch * gf_ops)
+            METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(
+                batch * saved
+            )
+        return results
+
+    def msr_to_rs_batch(self, msr_parities: list[np.ndarray]) -> list[MsrToRsResult]:
+        """Fault-free MSR→RS merge for batched parity groups.
+
+        ``msr_parities`` holds ``q`` stacks of shape ``(batch, r, L)`` —
+        group ``i``'s MSR parities for every stripe in the sweep.  Each
+        Trans1 plan batch-applies once; results, costs, and telemetry
+        totals match a loop over :meth:`msr_to_rs` byte for byte.
+        """
+        if len(msr_parities) != self.q:
+            raise ValueError(f"expected {self.q} parity groups, got {len(msr_parities)}")
+        pars = [np.ascontiguousarray(p, dtype=np.uint8) for p in msr_parities]
+        shapes = {p.shape for p in pars}
+        if len(shapes) != 1 or pars[0].ndim != 3 or pars[0].shape[1] != self.r:
+            raise ValueError(
+                f"parity groups must share one (batch, {self.r}, L) shape, "
+                f"got {sorted(shapes)}"
+            )
+        batch, _, L = pars[0].shape
+        self._check_block_len(L)
+        with METRICS.timer("fusion.transform.wall.msr_to_rs", unit="s"):
+            l = self.subpacketization
+            acc = np.zeros((batch, self.r, L), dtype=np.uint8)
+            gf_ops = 0.0
+            for i, par in enumerate(pars):
+                p_syms = self._trans1_plans[i].apply_batch(
+                    par.reshape(batch, self.r * l, L // l)
+                )
+                np.bitwise_xor(acc, p_syms.reshape(batch, self.r, L), out=acc)
+                gf_ops += self.trans1[i].size * (L / l)
+            if METRICS.enabled and batch:
+                METRICS.counter(
+                    "fusion.transform.msr_to_rs", unit="conversions"
+                ).inc(batch)
+                METRICS.counter("fusion.transform.gf_ops", unit="gf-ops").inc(
+                    batch * gf_ops
+                )
+                METRICS.counter("fusion.transform.bytes_saved", unit="bytes").inc(
+                    batch * self.k * L
+                )
+            return [
+                MsrToRsResult(
+                    parity=acc[b],
+                    cost=TransformCost(
+                        parity_blocks_read=self.q * self.r,
+                        blocks_written=self.r,
+                        gf_ops=gf_ops,
+                    ),
+                )
+                for b in range(batch)
+            ]
+
     def msr_to_rs(
         self,
         msr_parities: list[np.ndarray],

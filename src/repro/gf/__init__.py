@@ -8,10 +8,14 @@ Public surface:
 * :mod:`repro.gf.plan` — :class:`repro.gf.plan.CodingPlan`, the fused
   precompiled form of ``apply_to_blocks`` (plus the kept naive reference
   kernel :func:`repro.gf.plan.apply_to_blocks_naive`);
+* :mod:`repro.gf.backends` — the kernel backend registry CodingPlan
+  executes through (``translate``/``gather``/``pair``/``native``,
+  selectable via ``REPRO_GF_BACKEND``);
 * :mod:`repro.gf.polynomial` — polynomial eval/interpolation (RS oracle).
 """
 
 from .arithmetic import GF, gf_add, gf_div, gf_inv, gf_mul, gf_pow
+from .backends import BACKEND_NAMES, available_backends
 from .matrix import (
     CodingPlan,
     apply_to_blocks,
@@ -52,4 +56,6 @@ __all__ = [
     "apply_to_blocks",
     "apply_to_blocks_naive",
     "CodingPlan",
+    "BACKEND_NAMES",
+    "available_backends",
 ]

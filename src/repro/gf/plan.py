@@ -3,35 +3,45 @@
 The naive encode/decode kernel walks a coefficient matrix entry by entry
 and issues one table-gather + XOR per nonzero coefficient — ``nnz(m)``
 NumPy dispatches per application.  Storage-grade codecs instead *compile*
-the matrix once:
+the matrix once into a :class:`CodingPlan`, and each application executes
+through one of several registered **backends** (:mod:`repro.gf.backends`):
 
-* group the nonzero entries by coefficient value, so one 256-entry
-  table row gathers the products of **every** entry sharing that
-  coefficient in a single fancy-index (coefficient 1 skips the gather
-  entirely — it is a plain XOR);
-* within a group, sort entries by output row and XOR-reduce contiguous
-  runs with ``np.bitwise_xor.reduceat``, then scatter the per-row
-  results into the output with one (duplicate-free) fancy-indexed XOR.
+``translate``
+    One fused pass per distinct coefficient value: a 256-entry table map
+    scales every row sharing that coefficient into a reusable per-plan
+    scratch buffer (no per-call allocations), then
+    ``np.bitwise_xor.reduceat`` folds contiguous output runs and one
+    duplicate-free fancy-indexed XOR scatters them.  ``O(distinct
+    coefficients)`` dispatches, any field width.
+``gather``
+    One double fancy-index into the multiplication table computes every
+    product at once (~4 NumPy calls total) — wins when blocks are so
+    small that dispatch overhead, not bandwidth, dominates.
+``pair``
+    Wide-block NumPy path gathering packed uint64 products for byte
+    *pairs*; ~2–3× ``translate`` at MB-scale blocks, no compiler needed.
+``native``
+    A runtime-compiled nibble-split shuffle kernel
+    (:mod:`repro.gf.native`) — GB/s-class, used automatically whenever
+    the host can compile it.
 
-Execution cost drops from ``O(nnz)`` NumPy calls to
-``O(distinct nonzero coefficients)`` — bounded by 255 for GF(2^8) no
-matter how large the matrix — while every byte of output stays identical
-to the naive path (pure XOR/gather reassociation; GF(2^w) addition is
-exact).  :class:`CodingPlan` carries the compiled groups so repeated
-applications of one matrix (encode with a fixed generator, decode with a
-cached solve matrix, Trans1/Trans2 in the fusion pipeline) pay
-compilation once.
+Backends are selected per application by the measured-crossover
+heuristic in :func:`repro.gf.backends.choose_backend` (forceable via
+``REPRO_GF_BACKEND``), and every one produces byte-identical output:
+they are pure reassociations of the same GF(2^w) sums.
 
 :func:`apply_to_blocks_naive` keeps the original row-by-row kernel as
-the executable specification; the property suite in
-``tests/test_kernel_equivalence.py`` byte-compares the two on every
-registered code and erasure pattern.
+the executable specification; ``tests/test_kernel_equivalence.py`` and
+``tests/test_gf_backends.py`` byte-compare every backend against it on
+every registered code and erasure pattern.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import backends as _backends
+from . import native as _native
 from .arithmetic import GF
 
 __all__ = ["CodingPlan", "apply_to_blocks_naive"]
@@ -91,6 +101,12 @@ class CodingPlan:
     w:
         Field word size.
 
+    Per-backend lowerings (pair tables, native unit program) and the
+    translate scratch buffer are built lazily on first use and cached on
+    the plan; concurrent first-builds may race but only ever replace one
+    immutable lowering with an identical one, so plans stay safe to
+    share across threads.
+
     Examples
     --------
     >>> import numpy as np
@@ -112,14 +128,33 @@ class CodingPlan:
         "_flat_in",
         "_flat_out",
         "_flat_starts",
+        "_entry_out",
+        "_entry_in",
+        "_entry_coeff",
+        "_scratch",
+        "_pair_prog",
+        "_pair_units",
+        "_native_prog",
     )
 
-    #: Below this many product elements (``nnz * block_len``) :meth:`apply`
-    #: switches to the single-gather path: one double fancy-index into the
-    #: multiplication table computes every product at once (~4 NumPy calls
-    #: total), which beats the per-group translate loop when dispatch
-    #: overhead — not memory bandwidth — dominates.
+    #: Below this many product elements (``nnz * block_len``) the backend
+    #: heuristic switches to the single-gather path: one double
+    #: fancy-index into the multiplication table computes every product
+    #: at once (~4 NumPy calls total), which beats every streaming
+    #: backend when dispatch overhead — not memory bandwidth — dominates.
     _GATHER_LIMIT = 1 << 13
+
+    #: At or above this many columns per stripe, :meth:`apply_batch`
+    #: stops folding the batch into one wide application (the fold costs
+    #: two extra full copies) and loops stripes through
+    #: :meth:`apply_into` instead — per-stripe dispatch overhead is
+    #: amortised by then.
+    _BATCH_FOLD_LIMIT = 1 << 16
+
+    #: tile (elements) for the scratch-buffer table map in
+    #: :meth:`_scaled_rows` — keeps the destination cache-resident so the
+    #: in-place map streams instead of thrashing at MB sizes.
+    _SCALE_TILE = 1 << 16
 
     def __init__(self, m: np.ndarray, w: int = 8):
         gf = GF.get(w)
@@ -144,48 +179,241 @@ class CodingPlan:
         self._flat_coeffs = coeffs[order][:, None]
         self._flat_in = in_rows[order]
         self._flat_out, self._flat_starts = np.unique(out_rows[order], return_index=True)
+        # Raw entry triples for the lazy pair/native lowerings.
+        self._entry_out = out_rows
+        self._entry_in = in_rows
+        self._entry_coeff = coeffs
+        self._scratch = None
+        self._pair_prog = None
+        self._pair_units = None
+        self._native_prog = None
 
     @property
     def distinct_coefficients(self) -> int:
-        """Number of fused passes one :meth:`apply` performs."""
+        """Number of fused passes one ``translate`` application performs."""
         return len(self._groups)
 
-    def _scaled_rows(self, coeff: int, rows: np.ndarray) -> np.ndarray:
-        """``coeff * blocks[in_rows]`` for one group, in one bulk pass.
+    def backend_for(self, ncols: int) -> str:
+        """The backend :meth:`apply` would execute for ``ncols`` columns."""
+        return _backends.choose_backend(self, ncols)
 
-        For w ≤ 8 the scaling runs through ``bytes.translate`` — a C-speed
-        byte-map with no index-array materialisation, ~4x faster than a
-        fancy-indexed gather from the multiplication table.
+    # -- coefficient scaling (translate backend) ----------------------------
+
+    def _scaled_rows(self, coeff: int, rows: np.ndarray) -> np.ndarray:
+        """``coeff * rows`` for one group in one bulk pass, output-allocation-free.
+
+        For w ≤ 8 the scaling is a 256-entry table map executed tile by
+        tile into a reusable per-plan scratch buffer — the historical
+        ``rows.tobytes().translate(...)`` + ``np.frombuffer`` round trip
+        copied every group twice per application; the scratch version
+        copies zero times and returns a view into the plan's scratch
+        (valid until the next ``_scaled_rows`` call on this plan).
+        Temporaries are bounded by one ``_SCALE_TILE`` of NumPy's internal
+        index conversion, independent of ``rows.size``.
         """
         if coeff == 1:
             return rows
         gf = self._gf
         if gf.tables.w <= 8:
-            flat = rows.tobytes().translate(gf.scale_translation(coeff))
-            return np.frombuffer(flat, dtype=gf.dtype).reshape(rows.shape)
+            need = rows.size
+            scratch = self._scratch
+            if scratch is None or scratch.size < need:
+                scratch = self._scratch = np.empty(need, gf.dtype)
+            mt_row = gf.mul_table()[coeff]
+            src = rows.reshape(-1)
+            dst = scratch[:need]
+            for a in range(0, need, self._SCALE_TILE):
+                b = min(a + self._SCALE_TILE, need)
+                # mode="clip" never triggers (uint8 indices into a
+                # 256-entry row) but selects NumPy's fast bounds-free
+                # take loop, and out= writes straight into the scratch.
+                np.take(mt_row, src[a:b], out=dst[a:b], mode="clip")
+            return dst.reshape(rows.shape)
         t = gf.tables
         lc = int(t.log[coeff])
         prod = t.exp[t.log[rows] + lc].astype(gf.dtype, copy=False)
         return np.where(rows != 0, prod, 0).astype(gf.dtype, copy=False)
 
-    def apply(self, blocks: np.ndarray) -> np.ndarray:
-        """Compute ``m @ blocks`` (each row of ``blocks`` a storage block)."""
-        gf = self._gf
-        blocks = np.ascontiguousarray(blocks, dtype=gf.dtype)
-        if blocks.ndim != 2 or blocks.shape[0] != self.shape[1]:
-            raise ValueError(
-                f"incompatible shapes: {self.shape} applied to {blocks.shape}"
-            )
-        ncols = blocks.shape[1]
-        if 0 < self.nnz * ncols <= self._GATHER_LIMIT and gf.tables.w <= 8:
-            return self._apply_gathered(blocks, ncols)
-        out = np.zeros((self.shape[0], ncols), dtype=gf.dtype)
+    # -- backend runners -----------------------------------------------------
+    #
+    # Contract: ``blocks`` is C-contiguous ``(in_rows, ncols)`` of the
+    # field dtype; ``out`` is C-contiguous ``(out_rows, ncols)``.  With
+    # ``accumulate=False`` the runner fully defines ``out``; with
+    # ``accumulate=True`` it XORs the product on top of ``out``.
+
+    def _run_translate(self, blocks: np.ndarray, out: np.ndarray, accumulate: bool) -> None:
+        if not accumulate:
+            out[:] = 0
         for g in self._groups:
             prod = self._scaled_rows(g.coeff, blocks[g.in_rows])
             if g.reduce_offsets is not None:
                 prod = np.bitwise_xor.reduceat(prod, g.reduce_offsets, axis=0)
             # g.out_rows is duplicate-free, so in-place fancy XOR is safe.
             out[g.out_rows] ^= prod
+        return None
+
+    def _run_gather(self, blocks: np.ndarray, out: np.ndarray, accumulate: bool) -> None:
+        prods = self._gf.mul_table()[self._flat_coeffs, blocks[self._flat_in]]
+        if self.nnz > len(self._flat_out):
+            prods = np.bitwise_xor.reduceat(prods, self._flat_starts, axis=0)
+        if accumulate:
+            out[self._flat_out] ^= prods
+        else:
+            if len(self._flat_out) != self.shape[0]:
+                out[:] = 0
+            out[self._flat_out] = prods
+        return None
+
+    def _pair_unit_count(self) -> int:
+        count = self._pair_units
+        if count is None:
+            count = self._pair_units = _backends.pair_unit_count(
+                self._entry_out, self._entry_in
+            )
+        return count
+
+    def _pair_program(self):
+        prog = self._pair_prog
+        if prog is None:
+            prog = self._pair_prog = _backends.build_pair_program(
+                self._entry_out,
+                self._entry_in,
+                self._entry_coeff,
+                self._gf.mul_table(),
+                self.shape[0],
+            )
+        return prog
+
+    def _run_pair(self, blocks: np.ndarray, out: np.ndarray, accumulate: bool) -> None:
+        if not accumulate:
+            out[:] = 0
+        _backends.run_pair(self._pair_program(), blocks, out, accumulate)
+        ncols = blocks.shape[1]
+        if ncols % 2:
+            # odd trailing column: one tiny gather finishes it exactly.
+            col = self._apply_gathered(blocks[:, ncols - 1 :], 1)
+            out[:, ncols - 1 :] ^= col
+        return None
+
+    def _native_program(self):
+        prog = self._native_prog
+        if prog is None:
+            prog = self._native_prog = _native.build_unit_program(
+                self._entry_out,
+                self._entry_in,
+                self._entry_coeff,
+                self._gf.mul_table(),
+                self.shape[0],
+            )
+        return prog
+
+    def _run_native(self, blocks: np.ndarray, out: np.ndarray, accumulate: bool) -> None:
+        prog = self._native_program()
+        if not accumulate and len(prog.zero_rows):
+            out[prog.zero_rows] = 0
+        _native.run(_native.kernel(), prog, blocks, out, accumulate)
+        return None
+
+    # -- application ---------------------------------------------------------
+
+    def _validate(self, blocks: np.ndarray) -> np.ndarray:
+        blocks = np.ascontiguousarray(blocks, dtype=self._gf.dtype)
+        if blocks.ndim != 2 or blocks.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"incompatible shapes: {self.shape} applied to {blocks.shape}"
+            )
+        return blocks
+
+    def apply(self, blocks: np.ndarray) -> np.ndarray:
+        """Compute ``m @ blocks`` (each row of ``blocks`` a storage block)."""
+        blocks = self._validate(blocks)
+        ncols = blocks.shape[1]
+        backend = _backends.choose_backend(self, ncols)
+        if backend == "gather":
+            return self._apply_gathered(blocks, ncols)
+        out = np.empty((self.shape[0], ncols), dtype=self._gf.dtype)
+        if backend == "native":
+            self._run_native(blocks, out, accumulate=False)
+        elif backend == "pair":
+            self._run_pair(blocks, out, accumulate=False)
+        else:
+            self._run_translate(blocks, out, accumulate=False)
+        return out
+
+    def apply_into(
+        self, blocks: np.ndarray, out: np.ndarray, accumulate: bool = False
+    ) -> np.ndarray:
+        """Compute ``m @ blocks`` into a caller-donated buffer.
+
+        ``out`` must be a C-contiguous field-dtype array of shape
+        ``(out_rows, ncols)``; with ``accumulate=True`` the product is
+        XOR-folded on top of the existing contents (the streamed-repair
+        partial-sum primitive — no temporaries, no output allocation).
+        Returns ``out``.
+        """
+        blocks = self._validate(blocks)
+        ncols = blocks.shape[1]
+        if (
+            out.shape != (self.shape[0], ncols)
+            or out.dtype != self._gf.dtype
+            or not out.flags.c_contiguous
+        ):
+            raise ValueError(
+                f"out must be C-contiguous {self._gf.dtype} of shape "
+                f"{(self.shape[0], ncols)}"
+            )
+        backend = _backends.choose_backend(self, ncols)
+        runner = {
+            "gather": self._run_gather,
+            "native": self._run_native,
+            "pair": self._run_pair,
+            "translate": self._run_translate,
+        }[backend]
+        runner(blocks, out, accumulate)
+        return out
+
+    def apply_batch(self, stacked: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Apply one compiled plan across a batch of stripes at once.
+
+        ``stacked`` is ``(batch, in_rows, ncols)``; the result is
+        ``(batch, out_rows, ncols)``.  Because every stripe multiplies
+        by the *same* matrix, the batch folds into a single wide
+        application — ``m @ [X₀ | X₁ | …]`` — executed in one backend
+        dispatch, which is where per-stripe NumPy call overhead goes to
+        die for small blocks.  Past :data:`_BATCH_FOLD_LIMIT` columns
+        the fold's two transposition copies cost more than they save and
+        stripes are looped through :meth:`apply_into` instead.  Both
+        routes are byte-identical to applying stripes one by one.
+        """
+        gf = self._gf
+        stacked = np.ascontiguousarray(stacked, dtype=gf.dtype)
+        if stacked.ndim != 3 or stacked.shape[1] != self.shape[1]:
+            raise ValueError(
+                f"incompatible shapes: {self.shape} batch-applied to {stacked.shape}"
+            )
+        batch, _, ncols = stacked.shape
+        if out is None:
+            out = np.empty((batch, self.shape[0], ncols), dtype=gf.dtype)
+        elif (
+            out.shape != (batch, self.shape[0], ncols)
+            or out.dtype != gf.dtype
+            or not out.flags.c_contiguous
+        ):
+            raise ValueError(
+                f"out must be C-contiguous {gf.dtype} of shape "
+                f"{(batch, self.shape[0], ncols)}"
+            )
+        if batch == 0:
+            return out
+        if batch == 1 or ncols >= self._BATCH_FOLD_LIMIT:
+            for b in range(batch):
+                self.apply_into(stacked[b], out[b])
+            return out
+        folded = np.ascontiguousarray(stacked.transpose(1, 0, 2)).reshape(
+            self.shape[1], batch * ncols
+        )
+        res = self.apply(folded).reshape(self.shape[0], batch, ncols)
+        np.copyto(out, res.transpose(1, 0, 2))
         return out
 
     def _apply_gathered(self, blocks: np.ndarray, ncols: int) -> np.ndarray:
@@ -194,8 +422,8 @@ class CodingPlan:
         ``mul_table[coeff, value]`` over the flat (output-row-sorted) entry
         layout yields an ``(nnz, ncols)`` product buffer in a single gather;
         one XOR-reduceat folds each output segment.  Slower per byte than
-        ``bytes.translate`` but a constant ~4 NumPy dispatches, so it wins
-        when blocks are small enough that call overhead dominates.
+        the streaming backends but a constant ~4 NumPy dispatches, so it
+        wins when blocks are small enough that call overhead dominates.
         """
         gf = self._gf
         prods = gf.mul_table()[self._flat_coeffs, blocks[self._flat_in]]

@@ -1,4 +1,11 @@
-"""Tests for the parallel batch-coding API."""
+"""Tests for the parallel batch-coding API.
+
+Uniform batches (one shape, and for repair one failure pattern) take the
+vectorized single-dispatch fast path through ``code.encode_batch`` /
+``decode_data_batch`` / ``repair_batch``; ragged batches keep the thread
+pool.  Both must be byte-identical to a sequential loop — results *and*
+telemetry totals.
+"""
 
 import numpy as np
 import pytest
@@ -11,6 +18,7 @@ from repro.codes import (
     encode_batch,
     repair_batch,
 )
+from repro.telemetry import METRICS
 
 
 @pytest.fixture(scope="module")
@@ -96,3 +104,93 @@ class TestRepairBatch:
         out = decode_batch(fresh, maps, max_workers=8)
         for cw, rec in zip(coded, out):
             assert np.array_equal(rec, cw)
+
+
+class TestVectorizedFastPath:
+    """Uniform batches collapse into fused dispatches, byte-identically."""
+
+    @pytest.fixture(autouse=True)
+    def _metrics_off(self):
+        yield
+        METRICS.reset()
+        METRICS.disable()
+
+    def _codes_counters(self):
+        return {
+            k: v
+            for k, v in METRICS.snapshot().items()
+            if k.startswith(("codes.", "gf."))
+        }
+
+    @pytest.mark.parametrize(
+        "code", [ReedSolomonCode(6, 3), MSRCode(6, 3, verify="off")], ids=["rs", "msr"]
+    )
+    def test_uniform_storm_matches_loop_with_telemetry(self, code):
+        """Same failed node across every stripe — the vectorized storm."""
+        rng = np.random.default_rng(6)
+        L = code.subpacketization * 16
+        stripes = make_stripes(rng, code, 7, L=L)
+        coded = [code.encode(s) for s in stripes]
+        failed = 2
+        jobs = [
+            (failed, {i: cw[i] for i in range(code.n) if i != failed})
+            for cw in coded
+        ]
+
+        METRICS.reset()
+        METRICS.enable()
+        loop = [code.repair(f, m) for f, m in jobs]
+        loop_counters = self._codes_counters()
+        METRICS.reset()
+        fast = repair_batch(code, jobs, max_workers=1)
+        fast_counters = self._codes_counters()
+
+        assert fast_counters == loop_counters, "telemetry diverged under batching"
+        for a, b in zip(loop, fast):
+            assert np.array_equal(a.block, b.block)
+            assert a.bytes_read == b.bytes_read
+
+    def test_uniform_encode_and_decode_match_loop(self, rs):
+        rng = np.random.default_rng(7)
+        stripes = make_stripes(rng, rs, 6)
+        METRICS.reset()
+        METRICS.enable()
+        loop_coded = [rs.encode(s) for s in stripes]
+        loop_counters = self._codes_counters()
+        METRICS.reset()
+        fast_coded = encode_batch(rs, stripes, max_workers=1)
+        assert self._codes_counters() == loop_counters
+        for a, b in zip(loop_coded, fast_coded):
+            assert np.array_equal(a, b)
+
+        maps = [{i: cw[i] for i in range(2, 8)} for cw in loop_coded]
+        METRICS.reset()
+        loop_dec = [rs.decode(m) for m in maps]
+        loop_counters = self._codes_counters()
+        METRICS.reset()
+        fast_dec = decode_batch(rs, maps, max_workers=1)
+        assert self._codes_counters() == loop_counters
+        for a, b in zip(loop_dec, fast_dec):
+            assert np.array_equal(a, b)
+
+    def test_ragged_batch_falls_back(self, rs):
+        """Mixed block lengths cannot stack — thread path, same results."""
+        rng = np.random.default_rng(8)
+        stripes = [
+            rng.integers(0, 256, (rs.k, L), dtype=np.uint8) for L in (64, 128, 64)
+        ]
+        out = encode_batch(rs, stripes, max_workers=2)
+        for data, coded in zip(stripes, out):
+            assert np.array_equal(coded, rs.encode(data))
+
+    def test_code_level_encode_batch_validates(self, rs):
+        with pytest.raises(ValueError):
+            rs.encode_batch(np.zeros((2, rs.k + 1, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            rs.encode_batch(np.zeros((rs.k, 8), dtype=np.uint8))  # not 3-D
+
+    def test_code_level_decode_data_batch_validates(self, rs):
+        with pytest.raises(UnrecoverableError):
+            rs.decode_data_batch({})
+        with pytest.raises(ValueError):
+            rs.decode_data_batch({0: np.zeros(8, dtype=np.uint8)})  # not 2-D

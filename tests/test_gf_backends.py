@@ -1,0 +1,298 @@
+"""Every kernel backend must be byte-identical to the naive spec.
+
+:class:`repro.gf.CodingPlan` executes through a registry of backends
+(``translate`` / ``gather`` / ``pair`` / ``native``) selected per
+application by a measured-crossover heuristic and forceable via
+``REPRO_GF_BACKEND``.  The backends are pure reassociations of the same
+GF(2^w) sums, so the contract is absolute: for any coefficient matrix,
+any block shape (including empty and ragged-odd), any forced backend,
+and both ``apply_into`` accumulate modes, the output must equal
+:func:`repro.gf.apply_to_blocks_naive` bit for bit.
+
+Hypothesis drives the shape/sparsity/backend space; targeted tests pin
+the `_GATHER_LIMIT` dispatch boundary, the w > 8 translate-only
+fallback, batch fold-vs-loop duality, the forced-backend fallback
+ladder, and the ``_scaled_rows`` scratch reuse (the zero-allocation fix
+this suite guards).
+"""
+
+import contextlib
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF, CodingPlan, apply_to_blocks_naive
+from repro.gf import native as native_mod
+from repro.gf.backends import (
+    BACKEND_NAMES,
+    available_backends,
+    choose_backend,
+    forced_backend,
+)
+
+from tests.test_kernel_equivalence import all_codes
+
+#: None = heuristic selection; names = forced via REPRO_GF_BACKEND
+FORCINGS = [None, *BACKEND_NAMES]
+FORCING_IDS = ["auto" if f is None else f for f in FORCINGS]
+
+
+@contextlib.contextmanager
+def forced(name):
+    """Scope the REPRO_GF_BACKEND override (None clears it)."""
+    old = os.environ.get("REPRO_GF_BACKEND")
+    if name is None:
+        os.environ.pop("REPRO_GF_BACKEND", None)
+    else:
+        os.environ["REPRO_GF_BACKEND"] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_GF_BACKEND", None)
+        else:
+            os.environ["REPRO_GF_BACKEND"] = old
+
+
+@pytest.fixture(autouse=True)
+def _clean_env():
+    """Tests must not leak a forced backend into the rest of the suite."""
+    yield
+    os.environ.pop("REPRO_GF_BACKEND", None)
+
+
+def _skip_unavailable(backend):
+    if backend == "native" and not native_mod.native_available():
+        pytest.skip("native backend unavailable (no working C compiler)")
+
+
+# -- the property net --------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.integers(1, 9),
+    cols=st.integers(1, 9),
+    seed=st.integers(0, 2**31 - 1),
+    ncols=st.sampled_from([0, 1, 2, 3, 7, 64, 257, 1025, 4097]),
+    backend=st.sampled_from(FORCINGS),
+    sparsity=st.floats(0.0, 1.0),
+)
+def test_every_backend_matches_naive(rows, cols, seed, ncols, backend, sparsity):
+    """Random matrices (incl. all-zero), ragged/empty blocks, all forcings."""
+    rng = np.random.default_rng(seed)
+    m = rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+    m[rng.random(m.shape) < sparsity] = 0
+    blocks = rng.integers(0, 256, (cols, ncols), dtype=np.uint8)
+    expect = apply_to_blocks_naive(m, blocks)
+    with forced(backend):
+        plan = CodingPlan(m, w=8)
+        got = plan.apply(blocks)
+    assert got.dtype == expect.dtype and got.shape == expect.shape
+    assert np.array_equal(got, expect)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    ncols=st.sampled_from([1, 7, 129, 4097]),
+    backend=st.sampled_from(FORCINGS),
+    accumulate=st.booleans(),
+)
+def test_apply_into_accumulate_modes(seed, ncols, backend, accumulate):
+    """Donated-buffer path: plain write defines out, accumulate XOR-folds."""
+    rng = np.random.default_rng(seed)
+    m = rng.integers(0, 256, (5, 7), dtype=np.uint8)
+    blocks = rng.integers(0, 256, (7, ncols), dtype=np.uint8)
+    expect = apply_to_blocks_naive(m, blocks)
+    base = rng.integers(0, 256, (5, ncols), dtype=np.uint8)
+    with forced(backend):
+        plan = CodingPlan(m, w=8)
+        out = base.copy()
+        ret = plan.apply_into(blocks, out, accumulate=accumulate)
+    assert ret is out
+    assert np.array_equal(out, (base ^ expect) if accumulate else expect)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_registered_codes_round_trip_under_forced_backend(backend):
+    """Each backend must carry every registered code end to end."""
+    _skip_unavailable(backend)
+    rng = np.random.default_rng(3)
+    with forced(backend):
+        for code in all_codes():
+            L = code.subpacketization * 3  # odd multiple of l
+            data = rng.integers(0, 256, (code.k, L), dtype=np.uint8)
+            coded = code.encode(data)
+            if hasattr(code, "parity_matrix"):
+                assert np.array_equal(
+                    coded[code.k :], apply_to_blocks_naive(code.parity_matrix, data)
+                ), f"{backend}: {code.name} parity diverged from naive"
+            lost = int(rng.integers(code.n))
+            shards = {i: coded[i] for i in range(code.n) if i != lost}
+            assert np.array_equal(code.repair(lost, shards).block, coded[lost]), (
+                f"{backend}: {code.name} repair of node {lost} diverged"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_wide_blocks_past_tile_boundaries(backend):
+    """One column past every tile size: 64 Ki + 1 exercises all tail paths."""
+    _skip_unavailable(backend)
+    rng = np.random.default_rng(19)
+    m = rng.integers(0, 256, (4, 6), dtype=np.uint8)
+    blocks = rng.integers(0, 256, (6, (1 << 16) + 1), dtype=np.uint8)
+    expect = apply_to_blocks_naive(m, blocks)
+    with forced(backend):
+        assert np.array_equal(CodingPlan(m, w=8).apply(blocks), expect)
+
+
+# -- dispatch boundaries -----------------------------------------------------
+
+
+def test_gather_limit_boundary():
+    """The heuristic flips exactly at nnz·ncols == _GATHER_LIMIT."""
+    rng = np.random.default_rng(5)
+    m = rng.integers(1, 256, (4, 4), dtype=np.uint8)  # dense: nnz = 16
+    plan = CodingPlan(m, w=8)
+    edge = plan._GATHER_LIMIT // plan.nnz
+    with forced(None):
+        assert plan.backend_for(edge) == "gather"
+        assert plan.backend_for(edge + 1) != "gather"
+    for ncols in (edge - 1, edge, edge + 1):
+        blocks = rng.integers(0, 256, (4, ncols), dtype=np.uint8)
+        assert np.array_equal(plan.apply(blocks), apply_to_blocks_naive(m, blocks))
+
+
+def test_w16_always_translates_under_any_forcing():
+    """w > 8 has exactly one backend; every forcing falls back to it."""
+    assert available_backends(16) == ("translate",)
+    rng = np.random.default_rng(8)
+    m = rng.integers(0, 1 << 16, (3, 4), dtype=np.uint16)
+    blocks = rng.integers(0, 1 << 16, (4, 33), dtype=np.uint16)
+    expect = apply_to_blocks_naive(m, blocks, w=16)
+    for backend in BACKEND_NAMES:
+        with forced(backend):
+            plan = CodingPlan(m, w=16)
+            assert plan.backend_for(33) == "translate"
+            assert np.array_equal(plan.apply(blocks), expect)
+
+
+def test_zero_matrix_under_every_forcing():
+    """nnz == 0 short-circuits to translate (pure zero-fill) everywhere."""
+    m = np.zeros((4, 6), dtype=np.uint8)
+    blocks = np.arange(6 * 65, dtype=np.uint8).reshape(6, 65)
+    for backend in FORCINGS:
+        with forced(backend):
+            plan = CodingPlan(m, w=8)
+            assert plan.backend_for(65) == "translate"
+            assert not plan.apply(blocks).any()
+
+
+def test_unknown_forced_backend_is_rejected():
+    with forced("simd9000"):
+        with pytest.raises(ValueError, match="simd9000"):
+            forced_backend()
+        plan = CodingPlan(np.array([[3]], dtype=np.uint8), w=8)
+        with pytest.raises(ValueError, match="simd9000"):
+            plan.apply(np.arange(7, dtype=np.uint8).reshape(1, 7))
+
+
+def test_choose_backend_heuristic_shape():
+    """Sanity-pin the unforced crossover ladder on a dense 4×4 plan."""
+    rng = np.random.default_rng(12)
+    plan = CodingPlan(rng.integers(1, 256, (4, 4), dtype=np.uint8), w=8)
+    with forced(None):
+        small = choose_backend(plan, 8)
+        large = choose_backend(plan, 1 << 20)
+    assert small == "gather"
+    assert large in ("native", "pair", "translate")
+    if native_mod.native_available():
+        assert large == "native"
+
+
+# -- batch duality -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("fold_limit", [1, 1 << 30], ids=["loop", "fold"])
+def test_apply_batch_matches_per_stripe_loop(fold_limit, monkeypatch):
+    """Both apply_batch routes (fold / apply_into loop) equal the loop."""
+    monkeypatch.setattr(CodingPlan, "_BATCH_FOLD_LIMIT", fold_limit)
+    rng = np.random.default_rng(21)
+    m = rng.integers(0, 256, (4, 6), dtype=np.uint8)
+    m[rng.random(m.shape) < 0.3] = 0
+    plan = CodingPlan(m, w=8)
+    stacked = rng.integers(0, 256, (3, 6, 129), dtype=np.uint8)
+    got = plan.apply_batch(stacked)
+    assert got.shape == (3, 4, 129)
+    for b in range(3):
+        assert np.array_equal(got[b], apply_to_blocks_naive(m, stacked[b]))
+    # donated output buffer is written and returned
+    out = np.empty((3, 4, 129), dtype=np.uint8)
+    assert plan.apply_batch(stacked, out=out) is out
+    assert np.array_equal(out, got)
+    # degenerate batches
+    assert plan.apply_batch(stacked[:1]).shape == (1, 4, 129)
+    assert plan.apply_batch(np.empty((0, 6, 129), np.uint8)).shape == (0, 4, 129)
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_apply_batch_under_forced_backends(backend):
+    _skip_unavailable(backend)
+    rng = np.random.default_rng(22)
+    m = rng.integers(0, 256, (5, 8), dtype=np.uint8)
+    stacked = rng.integers(0, 256, (4, 8, 515), dtype=np.uint8)
+    with forced(backend):
+        got = CodingPlan(m, w=8).apply_batch(stacked)
+    for b in range(4):
+        assert np.array_equal(got[b], apply_to_blocks_naive(m, stacked[b]))
+
+
+# -- scratch reuse (the _scaled_rows zero-copy fix) --------------------------
+
+
+def test_scaled_rows_scratch_reuse_bounded_alloc():
+    """Warm ``_scaled_rows`` reuses the plan scratch; temporaries stay O(tile).
+
+    The historical implementation round-tripped every group through
+    ``tobytes() → bytes.translate → np.frombuffer`` — two full output
+    copies per group per application.  The fix gathers straight into a
+    grow-on-demand per-plan buffer.  NumPy's ``take`` still buffers one
+    tile of index conversion internally, so the invariant is that peak
+    temporary memory is bounded by the (constant) ``_SCALE_TILE`` — it
+    must NOT scale with the input size.
+    """
+    rng = np.random.default_rng(23)
+    plan = CodingPlan(rng.integers(2, 256, (4, 8), dtype=np.uint8), w=8)
+    # one tile of intp index conversion plus slack — the O(1) bound
+    bound = CodingPlan._SCALE_TILE * np.dtype(np.intp).itemsize * 2
+
+    def warm_peak(nbytes):
+        rows = rng.integers(0, 256, (4, nbytes // 4), dtype=np.uint8)
+        first = plan._scaled_rows(7, rows)  # warm: grows the scratch once
+        assert np.shares_memory(first, plan._scratch)
+        scratch = plan._scratch
+        tracemalloc.start()
+        again = plan._scaled_rows(7, rows)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert plan._scratch is scratch  # no regrow on same-size input
+        assert np.shares_memory(again, scratch)
+        assert np.array_equal(again, GF.get(8).mul(7, rows))
+        return peak
+
+    small = warm_peak(1 << 17)
+    large = warm_peak(1 << 21)  # 16x the input ...
+    assert small < bound, f"scaled rows allocated {small} bytes"
+    assert large < bound, f"... must not move the peak: {large} bytes"
+
+
+def test_scaled_rows_identity_coefficient_is_passthrough():
+    plan = CodingPlan(np.array([[1, 2]], dtype=np.uint8), w=8)
+    rows = np.arange(64, dtype=np.uint8).reshape(2, 32)
+    assert plan._scaled_rows(1, rows) is rows
+    assert plan._scratch is None  # coeff 1 must not touch the scratch
