@@ -26,9 +26,10 @@ BENCH_RESULT_SCHEMA = "repro.bench-result/v1"
 
 #: result-name roots whose structured entries also maintain a committed
 #: repo-root baseline (``BENCH_kernels.json`` / ``BENCH_campaign.json`` /
-#: ``BENCH_serving.json`` / ``BENCH_durability.json``) that CI's perf-smoke
-#: job diffs against a fresh run
-BASELINE_ROOTS = ("kernels", "campaign", "serving", "durability")
+#: ``BENCH_serving.json`` / ``BENCH_durability.json`` /
+#: ``BENCH_tournament.json``) that CI's perf-smoke job diffs against a
+#: fresh run
+BASELINE_ROOTS = ("kernels", "campaign", "serving", "durability", "tournament")
 
 
 def _update_baseline(root: str, entries: list[dict]) -> None:

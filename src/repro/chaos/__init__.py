@@ -38,6 +38,7 @@ from .invariants import (
     InvariantReport,
     InvariantViolation,
     verify_conversion_safety,
+    verify_multicode_conversion_safety,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "InvariantReport",
     "InvariantViolation",
     "verify_conversion_safety",
+    "verify_multicode_conversion_safety",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "InvariantReport",
     "InvariantChecker",
     "verify_conversion_safety",
+    "verify_multicode_conversion_safety",
 ]
 
 
@@ -399,4 +400,78 @@ def verify_conversion_safety(
         np.array_equal(data, data_before) and np.array_equal(rs_parity, parity_before)
     ):
         failures.append("aborted rs_to_msr mutated its inputs")
+    return failures
+
+
+def verify_multicode_conversion_safety(
+    k: int, r: int, rng: np.random.Generator, L: int | None = None
+) -> list[str]:
+    """Conversion-safety sweep over the full RS/MSR/LRC/FR graph.
+
+    For every ordered pair of code families, checks that:
+
+    * the fault-free conversion is byte-identical to encoding the target
+      family directly from the data;
+    * with any one data group reported lost mid-conversion, the
+      parity-decode failover still produces **byte-identical** output;
+    * a loss beyond the failover (data group + source parities) raises
+      ``TransformAborted``, leaves the input stripe bit-for-bit untouched,
+      and closes its journal entry (no stripe is ever left
+      half-converted).
+
+    An empty return value means the invariant holds.
+    """
+    from ..fusion.transform import ChunkUnavailable, MultiCodeConverter, TransformAborted
+
+    conv = MultiCodeConverter(k, r)
+    if L is None:
+        L = conv.subpacketization * 2
+    failures: list[str] = []
+    data = rng.integers(0, 256, (k, L), dtype=np.uint8)
+
+    def lose(*lost):
+        def hook(phase, group):
+            if (phase, group) in lost:
+                raise ChunkUnavailable(phase, group)
+
+        return hook
+
+    for source in conv.FAMILIES:
+        stripe = conv.encode(data, source)
+        for target in conv.FAMILIES:
+            if target == source:
+                continue
+            clean = conv.convert(stripe, target)
+            want = conv.encode(data, target)
+            if not np.array_equal(clean.stripe.parity, want.parity):
+                failures.append(f"{source}->{target}: fault-free output differs")
+            for g in range(conv.q):
+                out = conv.convert(stripe, target, fault_hook=lose(("data", g)))
+                if not (
+                    np.array_equal(out.stripe.data, clean.stripe.data)
+                    and np.array_equal(out.stripe.parity, clean.stripe.parity)
+                ):
+                    failures.append(
+                        f"{source}->{target} lost data group {g}: output differs"
+                    )
+            # beyond-failover loss: data group 0 plus the source parity set
+            parity_probe = ("parity", 0) if source == "msr" else ("parity", -1)
+            data_before = stripe.data.copy()
+            parity_before = stripe.parity.copy()
+            try:
+                conv.convert(
+                    stripe, target, fault_hook=lose(("data", 0), parity_probe)
+                )
+                failures.append(f"{source}->{target} double loss did not abort")
+            except TransformAborted:
+                pass
+            if not (
+                np.array_equal(stripe.data, data_before)
+                and np.array_equal(stripe.parity, parity_before)
+            ):
+                failures.append(f"aborted {source}->{target} mutated its inputs")
+    if conv.open_journal_entries:
+        failures.append(
+            f"{conv.open_journal_entries} journal entries left open at rest"
+        )
     return failures

@@ -79,6 +79,7 @@ from .experiments import (
     fig_pipeline_repair,
     table4_allocation,
     table7_summary,
+    tournament,
 )
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -155,6 +156,20 @@ def _run_table7(config: ExperimentConfig, ks: tuple[int, ...]) -> str:
     return table7_summary.render(table7_summary.compute(config, ks=ks))
 
 
+#: extra top-level ``--report`` sections contributed by the runners of
+#: the current campaign (cleared per ``main`` invocation); the
+#: tournament stashes its win-region decomposition here so the generic
+#: campaign report carries a ``tournament`` section like ``serve`` /
+#: ``durability`` carry theirs
+_REPORT_EXTRAS: dict[str, object] = {}
+
+
+def _run_tournament(config: ExperimentConfig, ks) -> str:
+    results = tournament.compute(config)
+    _REPORT_EXTRAS["tournament"] = results.to_section()
+    return tournament.render(results)
+
+
 #: name -> (runner, description, simulation-backed?)
 EXPERIMENTS = {
     "fig13": (_run_fig13, "storage cost vs hybrid ratio (analytic)", False),
@@ -172,6 +187,11 @@ EXPERIMENTS = {
     "chaos": (_run_chaos, "seeded fault-injection campaign + invariant harness", True),
     "table4": (_run_table4, "code allocation per workload category (analytic)", False),
     "table7": (_run_table7, "improvement summary, k in {6,8} (simulation)", True),
+    "tournament": (
+        _run_tournament,
+        "cross-code tournament: RS/MSR/LRC/FR/policy win regions (simulation)",
+        True,
+    ),
 }
 
 
@@ -770,6 +790,7 @@ def main(argv: list[str] | None = None) -> int:
         config = config_from_args(args)
         ks = tuple(args.k)
         run_config = config
+        _REPORT_EXTRAS.clear()
         if not names and (want_stats or tracing):
             # standalone stats/trace/report: drive one compact campaign so
             # there is something to report (fig16 exercises every layer)
@@ -788,6 +809,7 @@ def main(argv: list[str] | None = None) -> int:
             report = telemetry.build_report(
                 experiments=names or ["stats"],
                 config=dataclasses.asdict(run_config),
+                extra=dict(_REPORT_EXTRAS) or None,
             )
             telemetry.write_report(args.report, report)
             print(f"wrote campaign report to {args.report}", file=sys.stderr)

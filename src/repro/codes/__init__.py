@@ -1,4 +1,4 @@
-"""Erasure codes: RS, MSR (coupled-layer), LRC, EVENODD, RDP, Hitchhiker, Product.
+"""Erasure codes: RS, MSR (coupled-layer), LRC, FR, EVENODD, RDP, Hitchhiker, Product.
 
 All codes share the :class:`repro.codes.base.ErasureCode` interface —
 ``encode`` / ``decode`` / ``repair`` on ``(nodes, block_len)`` uint8
@@ -16,6 +16,7 @@ from .base import (
     UnrecoverableError,
 )
 from .evenodd import EvenOddCode
+from .fr import FractionalRepetitionCode
 from .hitchhiker import HitchhikerCode
 from .lrc import LocalReconstructionCode
 from .rdp import RDPCode
@@ -33,6 +34,7 @@ __all__ = [
     "ReedSolomonCode",
     "MSRCode",
     "LocalReconstructionCode",
+    "FractionalRepetitionCode",
     "EvenOddCode",
     "RDPCode",
     "HitchhikerCode",

@@ -7,8 +7,12 @@ Reed–Solomon parities, so ``n = k + z + r``.
 The selling point is cheap single-failure repair: a lost data block is
 rebuilt from its local group (``k/z`` reads) instead of ``k`` reads.  The
 price is extra storage (ρ = (k+r+z)/k) and no bandwidth savings for global
-parity loss.  HACFS (the EH-EC baseline the paper compares against) is a
-pair of these: compact LRC(k, 2, 2) and fast LRC(k, 2, k/2).
+parity loss.  Two consumers sit on top: HACFS (the EH-EC baseline the
+paper compares against) pairs a compact LRC(k, 2, 2) with a fast
+LRC(k, 2, k/2), and the multi-code policy engine
+(:mod:`repro.fusion.adaptation`) holds a single LRC variant as a
+first-class family — the middle ground of the δ axis between RS writes
+and FR's uncoded repair (see ``docs/codes.md``).
 """
 
 from __future__ import annotations

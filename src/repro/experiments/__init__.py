@@ -21,6 +21,7 @@ from . import (
     fig_pipeline_repair,
     table4_allocation,
     table7_summary,
+    tournament,
 )
 from .parallel import CampaignTask, campaign_tasks, map_tasks, run_campaign_tasks
 from .runner import SCHEME_ORDER, ExperimentConfig, build_schemes, format_table
@@ -53,4 +54,5 @@ __all__ = [
     "fig_pipeline_repair",
     "table4_allocation",
     "table7_summary",
+    "tournament",
 ]

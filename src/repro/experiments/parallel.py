@@ -233,33 +233,40 @@ def _run_cell(task: CampaignTask) -> SimulationResult:
     return run_workload(scheme, trace, failures, cfg.cluster, chaos=cfg.chaos)
 
 
-def _isolated_cell(item: tuple[CampaignTask, dict]) -> tuple[SimulationResult, dict]:
+def _isolated_cell(item: tuple) -> tuple:
     """Run one cell against freshly reset telemetry; export what it emitted.
 
     This is the single execution routine for both modes: the in-process
     serial loop calls it directly, a pool worker calls it after pickling.
     It must stay module-level so it is picklable.
     """
-    task, flags = item
+    task, flags, runner = item
     _reset_telemetry(flags)
-    result = _run_cell(task)
+    result = runner(task)
     return result, _export_telemetry()
 
 
 def run_campaign_tasks(
-    tasks: list[CampaignTask], jobs: int = 1
-) -> list[SimulationResult]:
+    tasks: list, jobs: int = 1, runner: Callable | None = None
+) -> list:
     """Execute campaign cells, possibly across processes; merge telemetry.
 
     Results come back aligned with ``tasks``; global telemetry ends up
     exactly as if the cells had run sequentially in task order — whatever
     the collectors held *before* the campaign is preserved underneath.
+
+    ``runner`` is the per-task execution function (``None`` means the
+    scheme×trace campaign cell).  It must be module-level picklable, take
+    one task, and return one picklable result; the tournament experiment
+    supplies its own.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if runner is None:
+        runner = _run_cell
     flags = _telemetry_flags()
     prior = _export_telemetry()  # pre-campaign accumulations to keep
-    items = [(task, flags) for task in tasks]
+    items = [(task, flags, runner) for task in tasks]
     if jobs > 1 and len(tasks) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
             payloads = [

@@ -13,10 +13,14 @@ from .adaptation import AdaptiveSelector, CodeKind, Conversion
 from .costmodel import ALWAYS_MSR, ALWAYS_RS, CostModel, SystemProfile
 from .framework import ECFusion, RecoveryReport, StripeStore
 from .queues import CachePolicy, QueueEntry, TrackingQueue
+from .costmodel import CODE_FAMILIES, CodeCosts
 from .transform import (
     ChunkUnavailable,
+    CodedStripe,
+    ConversionResult,
     FusionTransformer,
     MsrToRsResult,
+    MultiCodeConverter,
     RsToMsrResult,
     TransformAborted,
     TransformCost,
@@ -27,6 +31,8 @@ __all__ = [
     "TransformAborted",
     "SystemProfile",
     "CostModel",
+    "CodeCosts",
+    "CODE_FAMILIES",
     "ALWAYS_RS",
     "ALWAYS_MSR",
     "CachePolicy",
@@ -39,6 +45,9 @@ __all__ = [
     "TransformCost",
     "RsToMsrResult",
     "MsrToRsResult",
+    "CodedStripe",
+    "ConversionResult",
+    "MultiCodeConverter",
     "ECFusion",
     "RecoveryReport",
     "StripeStore",

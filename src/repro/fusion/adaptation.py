@@ -1,4 +1,4 @@
-"""Workload adaptation — Algorithm 1 of the paper (§III-C).
+"""Workload adaptation — Algorithm 1 of the paper (§III-C), generalised.
 
 Two tracking queues capture locality: Queue1 logs application accesses,
 Queue2 logs recovery requests.  Three triggers drive per-stripe code
@@ -11,6 +11,14 @@ eq. (2)) on the per-stripe ratio δ = writes/recoveries:
    to RS;
 3. a recovery entry falls off Queue2's tail → the stripe has cooled, so an
    MSR stripe converts back to RS.
+
+That is the paper's two-code policy, and it stays the default.  Passing
+``codes=...`` turns the selector into the *multi-code policy engine*
+(ROADMAP item 2): the same queues and triggers, but each trigger re-scores
+the stripe across every enabled code family with
+:meth:`repro.fusion.costmodel.CostModel.best_code` — per-transition
+hysteresis margins included, so stripes don't thrash between neighbouring
+codes — and Queue2 evictions return cooled stripes to the default family.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from enum import Enum
-from typing import Hashable
+from typing import Hashable, Mapping, Sequence
 
 from ..telemetry import METRICS, TRACER
 from .costmodel import CostModel
@@ -28,10 +36,16 @@ __all__ = ["CodeKind", "Conversion", "AdaptiveSelector"]
 
 
 class CodeKind(str, Enum):
-    """Which of the two fusion codes a stripe is currently stored in."""
+    """Which code family a stripe is currently stored in.
+
+    The paper's fusion pair is RS/MSR; LRC and FR join once the selector
+    runs as the multi-code policy engine.
+    """
 
     RS = "rs"
     MSR = "msr"
+    LRC = "lrc"
+    FR = "fr"
 
 
 @dataclass(frozen=True)
@@ -44,7 +58,10 @@ class Conversion:
 
 
 class AdaptiveSelector:
-    """Algorithm 1: decides when each stripe flips between RS and MSR.
+    """Algorithm 1: decides which code family each stripe should hold.
+
+    Two-code RS↔MSR by default (the paper's policy); pass ``codes=...``
+    for the multi-code engine over {rs, msr, lrc, fr}.
 
     The selector owns only *policy state* (queues, counters, flags); the
     caller executes the returned :class:`Conversion` commands and bears
@@ -66,6 +83,18 @@ class AdaptiveSelector:
         their stripes back to RS.  Plain Algorithm 1 (None) only evicts
         under insertion pressure, so the MSR-resident set — and its storage
         premium — survives arbitrarily long failure lulls.
+    codes:
+        ``None`` (default) keeps the paper's two-code RS↔MSR policy,
+        byte-identical to earlier releases.  A tuple of
+        :class:`CodeKind`/strings (e.g. ``("rs", "msr", "lrc", "fr")``)
+        switches to the multi-code policy engine: every trigger re-scores
+        the stripe across these families via
+        :meth:`~repro.fusion.costmodel.CostModel.best_code`.
+    margins:
+        Per-transition hysteresis for the multi-code policy: one scalar
+        fraction for every conversion edge, or a mapping from
+        ``(current, target)`` code-name pairs (``"default"`` key for the
+        rest).  Ignored in two-code mode, which uses ``margin``/η instead.
 
     Examples
     --------
@@ -77,6 +106,15 @@ class AdaptiveSelector:
     [Conversion(stripe='s1', target=<CodeKind.MSR: 'msr'>, trigger='recovery-insert')]
     >>> sel.code_of("s1")
     <CodeKind.MSR: 'msr'>
+
+    The multi-code engine picks the cheapest family instead:
+
+    >>> multi = AdaptiveSelector(
+    ...     CostModel(4, 2, SystemProfile()),
+    ...     codes=("rs", "msr", "lrc", "fr"),
+    ... )
+    >>> multi.on_recovery("hot")     # recovery-dominated stripe -> FR
+    [Conversion(stripe='hot', target=<CodeKind.FR: 'fr'>, trigger='recovery-insert')]
     """
 
     def __init__(
@@ -87,6 +125,8 @@ class AdaptiveSelector:
         margin: float = 0.0,
         default: CodeKind = CodeKind.RS,
         idle_window: int | None = None,
+        codes: Sequence[CodeKind | str] | None = None,
+        margins: float | Mapping[tuple[str, str], float] | None = None,
     ):
         if margin < 0:
             raise ValueError("hysteresis margin must be non-negative")
@@ -96,6 +136,22 @@ class AdaptiveSelector:
         self.margin = margin
         self.default = default
         self.idle_window = idle_window
+        if codes is None:
+            self.codes: tuple[CodeKind, ...] | None = None
+            self.margins: float | Mapping[tuple[str, str], float] = 0.0
+        else:
+            kinds = tuple(CodeKind(c) for c in codes)
+            if not kinds:
+                raise ValueError("codes must be non-empty")
+            if len(set(kinds)) != len(kinds):
+                raise ValueError(f"duplicate code families in {codes!r}")
+            if default not in kinds:
+                raise ValueError(f"default {default} not among codes {codes!r}")
+            self.codes = kinds
+            self.margins = margin if margins is None else margins
+            for cur in kinds:  # validate every edge's margin eagerly
+                for tgt in kinds:
+                    cost_model.transition_margin(self.margins, cur.value, tgt.value)
         self._events = 0
         self.queue1 = TrackingQueue(queue_capacity, policy, name="queue1")  # app accesses
         self.queue2 = TrackingQueue(queue_capacity, policy, name="queue2")  # recoveries
@@ -134,16 +190,36 @@ class AdaptiveSelector:
             return []
         out: list[Conversion] = []
         for entry in self.queue2.expire_idle(self._events - self.idle_window):
-            if self.code_of(entry.key) is CodeKind.MSR:
-                out.append(self._convert(entry.key, CodeKind.RS, "idle-expiry"))
+            if self.codes is None:
+                if self.code_of(entry.key) is CodeKind.MSR:
+                    out.append(self._convert(entry.key, CodeKind.RS, "idle-expiry"))
+            elif self.code_of(entry.key) is not self.default:
+                out.append(self._convert(entry.key, self.default, "idle-expiry"))
         return out
 
+    def _retarget(self, stripe: Hashable, trigger: str) -> list[Conversion]:
+        """Multi-code re-score of one stripe; converts if a family wins
+        through its per-transition hysteresis margin."""
+        current = self.code_of(stripe)
+        target = self.cost_model.best_code(
+            self.delta(stripe),
+            codes=tuple(c.value for c in self.codes),
+            current=current.value,
+            margins=self.margins,
+        )
+        if target == current.value:
+            return []
+        return [self._convert(stripe, CodeKind(target), trigger)]
+
     def on_write(self, stripe: Hashable) -> list[Conversion]:
-        """Application write: Queue1 insert; may convert the stripe to RS."""
+        """Application write: Queue1 insert; may convert the stripe to RS
+        (two-code mode) or to whichever family now scores cheapest."""
         out = self._tick()
         self._writes[stripe] += 1
         self.queue1.record(stripe)
-        if self.code_of(stripe) is not CodeKind.RS and self.cost_model.prefers_rs(
+        if self.codes is not None:
+            out.extend(self._retarget(stripe, "write-insert"))
+        elif self.code_of(stripe) is not CodeKind.RS and self.cost_model.prefers_rs(
             self.delta(stripe), self.margin
         ):
             out.append(self._convert(stripe, CodeKind.RS, "write-insert"))
@@ -156,15 +232,21 @@ class AdaptiveSelector:
         return out
 
     def on_recovery(self, stripe: Hashable) -> list[Conversion]:
-        """Recovery request: Queue2 insert; may convert to MSR, and Queue2
-        tail evictions convert cooled MSR stripes back to RS."""
+        """Recovery request: Queue2 insert; may convert to MSR (two-code
+        mode) or to the cheapest family, and Queue2 tail evictions convert
+        cooled non-default stripes back to the default."""
         out = self._tick()
         self._recoveries[stripe] += 1
         evicted = self.queue2.record(stripe, clock=self._events)
         for entry in evicted:
-            if self.code_of(entry.key) is CodeKind.MSR:
-                out.append(self._convert(entry.key, CodeKind.RS, "queue2-evict"))
-        if self.code_of(stripe) is not CodeKind.MSR and self.cost_model.prefers_msr(
+            if self.codes is None:
+                if self.code_of(entry.key) is CodeKind.MSR:
+                    out.append(self._convert(entry.key, CodeKind.RS, "queue2-evict"))
+            elif self.code_of(entry.key) is not self.default:
+                out.append(self._convert(entry.key, self.default, "queue2-evict"))
+        if self.codes is not None:
+            out.extend(self._retarget(stripe, "recovery-insert"))
+        elif self.code_of(stripe) is not CodeKind.MSR and self.cost_model.prefers_msr(
             self.delta(stripe), self.margin
         ):
             out.append(self._convert(stripe, CodeKind.MSR, "recovery-insert"))
@@ -198,12 +280,23 @@ class AdaptiveSelector:
         msr = sum(1 for v in self._flags.values() if v is CodeKind.MSR)
         return msr / len(self._flags)
 
+    def code_fractions(self) -> dict[str, float]:
+        """Fraction of tracked stripes per code family (multi-code view)."""
+        kinds = self.codes or (CodeKind.RS, CodeKind.MSR)
+        if not self._flags:
+            return {kind.value: 0.0 for kind in kinds}
+        total = len(self._flags)
+        return {
+            kind.value: sum(1 for v in self._flags.values() if v is kind) / total
+            for kind in kinds
+        }
+
     def stats(self) -> dict[str, float]:
         """Counters for experiment reports."""
         by_trigger: dict[str, int] = defaultdict(int)
         for c in self.conversions:
             by_trigger[c.trigger] += 1
-        return {
+        out = {
             "eta": self.eta,
             "conversions": len(self.conversions),
             "to_msr": sum(1 for c in self.conversions if c.target is CodeKind.MSR),
@@ -211,3 +304,11 @@ class AdaptiveSelector:
             "msr_fraction": self.msr_fraction,
             **{f"trigger:{k}": v for k, v in by_trigger.items()},
         }
+        if self.codes is not None:
+            for kind in self.codes:
+                out[f"to_{kind.value}"] = sum(
+                    1 for c in self.conversions if c.target is kind
+                )
+            for name, frac in self.code_fractions().items():
+                out[f"fraction:{name}"] = frac
+        return out

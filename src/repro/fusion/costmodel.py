@@ -22,14 +22,37 @@ seconds); because the same γ/φ term appears in all four formulas it cancels
 in both the numerator and denominator of η, so the mixing is harmless for
 the decision — we reproduce it literally and expose a
 :class:`SystemProfile` carrying the four platform constants of Table I.
+
+Beyond the paper's RS/MSR pair, the model generalises to per-code
+``(W, R, storage-overhead)`` cost tuples (:class:`CodeCosts`) for the four
+families the multi-code policy engine selects among — RS, MSR
+(the fusion layout MSR(2r, r, r, r²)), Azure-style LRC(k, lrc_r, lrc_z)
+and the fractional-repetition code FR(k, ·, ρ).  Every W/R formula keeps
+the same γ/φ disk-I/O term once, so it still cancels in any pairwise
+comparison.  :meth:`CostModel.score` blends W and R by the write fraction
+``f = δ/(1+δ)`` and adds a storage rent ``storage_weight · ρ_code · γ/λ``
+(the dimensionless ``storage_weight`` prices one stored-chunk-transmission
+per access); :meth:`CostModel.best_code` applies per-transition hysteresis
+margins on top so neighbouring codes don't thrash.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from typing import Mapping
 
-__all__ = ["SystemProfile", "CostModel", "ALWAYS_RS", "ALWAYS_MSR"]
+__all__ = [
+    "SystemProfile",
+    "CostModel",
+    "CodeCosts",
+    "CODE_FAMILIES",
+    "ALWAYS_RS",
+    "ALWAYS_MSR",
+]
+
+#: The code families the multi-code policy engine can select among.
+CODE_FAMILIES = ("rs", "msr", "lrc", "fr")
 
 #: Sentinel thresholds for degenerate parameter regimes.
 ALWAYS_RS = math.inf
@@ -73,16 +96,60 @@ class SystemProfile:
 
 
 @dataclass(frozen=True)
+class CodeCosts:
+    """Per-code (W, R, ρ) cost tuple the multi-code policy scores against.
+
+    ``write`` and ``recovery`` are the per-block costs in the paper's
+    Table III units; ``storage_overhead`` is ρ = stored chunks / data
+    chunks for the layout the fusion store would actually hold the stripe
+    in (MSR therefore counts its padded q·r parity chunks).
+    """
+
+    code: str
+    write: float
+    recovery: float
+    storage_overhead: float
+
+
+@dataclass(frozen=True)
 class CostModel:
-    """Write/recovery cost formulas for one EC-Fusion(k, r) configuration."""
+    """Write/recovery cost formulas for one EC-Fusion(k, r) configuration.
+
+    The trailing fields parameterise the non-paper code families of the
+    multi-code policy: the LRC shape (``lrc_r`` global parities, ``lrc_z``
+    local groups), the FR shape (``fr_rho`` copies per chunk across
+    ``fr_nodes`` total nodes, default 2k+1), and the dimensionless
+    ``storage_weight`` rent each stored chunk pays in :meth:`score`.
+    """
 
     k: int
     r: int
     profile: SystemProfile
+    lrc_r: int = 2
+    lrc_z: int = 2
+    fr_rho: int = 2
+    fr_nodes: int | None = None
+    storage_weight: float = 1.5
 
     def __post_init__(self):
         if self.k <= 0 or self.r <= 0:
             raise ValueError("k and r must be positive")
+        if self.lrc_r <= 0 or self.lrc_z <= 0:
+            raise ValueError("lrc_r and lrc_z must be positive")
+        if self.fr_rho < 2:
+            raise ValueError("fr_rho must be >= 2")
+        if self.fr_n < self.fr_rho * self.k:
+            raise ValueError(
+                f"fr_nodes={self.fr_n} cannot hold {self.fr_rho} copies of "
+                f"{self.k} data chunks"
+            )
+        if self.storage_weight < 0:
+            raise ValueError("storage_weight must be non-negative")
+
+    @property
+    def fr_n(self) -> int:
+        """Total FR node count (default ρ·k+1: ρ copies + one precode chunk)."""
+        return self.fr_nodes if self.fr_nodes is not None else self.fr_rho * self.k + 1
 
     # -- paper §III-C closed forms ---------------------------------------
     @property
@@ -145,6 +212,160 @@ class CostModel:
         if margin < 0:
             raise ValueError("hysteresis margin must be non-negative")
         return delta <= self.eta - margin
+
+    # -- per-code cost tuples (multi-code policy engine) -------------------
+    def write_cost(self, code: str) -> float:
+        """W: per-block write cost of one code family (Table III units).
+
+        The LRC write adds the z local XORs to the RS-style global
+        parities; the FR write is almost computation-free (only the θ − B
+        precode chunks multiply) but transmits the full replication factor.
+        """
+        p = self.profile
+        k = self.k
+        if code == "rs":
+            return self.write_cost_rs
+        if code == "msr":
+            return self.write_cost_msr
+        if code == "lrc":
+            width = k + self.lrc_r + self.lrc_z
+            compute = k * self.lrc_r + (k - self.lrc_z)
+            return p.gamma * (compute / p.alpha + (width / k) / p.lam + 1 / p.phi)
+        if code == "fr":
+            coded_chunks = self.fr_n - self.fr_rho * k
+            return p.gamma * (
+                coded_chunks * k / p.alpha + (self.fr_n / k) / p.lam + 1 / p.phi
+            )
+        raise ValueError(f"unknown code {code!r}")
+
+    def recovery_cost(self, code: str) -> float:
+        """R: per-block reconstruction cost of one code family.
+
+        LRC repairs from its local group (k/z reads + XOR); FR repair is a
+        pure copy — exactly γ bytes over the wire, zero GF operations —
+        the cheapest recovery any layout can offer.
+        """
+        p = self.profile
+        k = self.k
+        if code == "rs":
+            return self.recovery_cost_rs
+        if code == "msr":
+            return self.recovery_cost_msr
+        if code == "lrc":
+            group = k / self.lrc_z
+            return p.gamma * (group / p.alpha + group / p.lam + 1 / p.phi)
+        if code == "fr":
+            return p.gamma * (1 / p.lam + 1 / p.phi)
+        raise ValueError(f"unknown code {code!r}")
+
+    def storage_overhead(self, code: str) -> float:
+        """ρ = stored / data chunks in the fusion store's layout.
+
+        MSR counts the padded q·r parity chunks of the MSR(2r, r) group
+        layout the transformer produces, not the (k+r)/k of a standalone
+        MSR(k+r, k) — the policy prices what the store would actually hold.
+        """
+        k, r = self.k, self.r
+        if code == "rs":
+            return (k + r) / k
+        if code == "msr":
+            q = -(-k // r)
+            return (k + q * r) / k
+        if code == "lrc":
+            return (k + self.lrc_r + self.lrc_z) / k
+        if code == "fr":
+            return self.fr_n / k
+        raise ValueError(f"unknown code {code!r}")
+
+    def costs(self, code: str) -> CodeCosts:
+        """The full (W, R, ρ) tuple for one code family."""
+        return CodeCosts(
+            code=code,
+            write=self.write_cost(code),
+            recovery=self.recovery_cost(code),
+            storage_overhead=self.storage_overhead(code),
+        )
+
+    # -- multi-code scoring -------------------------------------------------
+    def score(self, code: str, delta: float) -> float:
+        """Expected per-access cost of holding a stripe in ``code``.
+
+        ``δ = writes/recoveries`` maps to the write fraction
+        ``f = δ/(1+δ)`` (δ = ∞ → pure writes, f = 1), so the blend
+        ``f·W + (1−f)·R`` is the average cost of the stripe's next access.
+        Storage pays rent on top: ``storage_weight · ρ · γ/λ`` — each
+        stored chunk priced as ``storage_weight`` chunk transmissions.
+        The paper's unit-mixing γ/φ disk-I/O term appears once in every W
+        and R, so it cancels out of any comparison; it is subtracted here
+        so scores are honest seconds and the *relative* hysteresis margins
+        of :meth:`best_code` bite on real cost differences instead of a
+        shared constant.
+        """
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        f = 1.0 if math.isinf(delta) else delta / (1.0 + delta)
+        p = self.profile
+        rent = self.storage_weight * self.storage_overhead(code) * p.gamma / p.lam
+        blend = f * self.write_cost(code) + (1.0 - f) * self.recovery_cost(code)
+        return blend - p.gamma / p.phi + rent
+
+    @staticmethod
+    def transition_margin(
+        margins: float | Mapping[tuple[str, str], float],
+        current: str,
+        target: str,
+    ) -> float:
+        """Hysteresis margin for one conversion edge.
+
+        ``margins`` is either one scalar for every edge or a mapping from
+        ``(current, target)`` pairs to per-edge fractions; missing edges
+        fall back to the mapping's ``"default"`` key (0 if absent).
+        """
+        if isinstance(margins, Mapping):
+            m = margins.get((current, target), margins.get("default", 0.0))
+        else:
+            m = margins
+        if m < 0 or m >= 1:
+            raise ValueError(f"margin for {current}->{target} must be in [0, 1)")
+        return m
+
+    def best_code(
+        self,
+        delta: float,
+        codes: tuple[str, ...] = CODE_FAMILIES,
+        current: str | None = None,
+        margins: float | Mapping[tuple[str, str], float] = 0.0,
+    ) -> str:
+        """The code a stripe with ratio δ should be stored in.
+
+        Without ``current`` this is the plain argmin of :meth:`score`
+        (ties break toward the earlier entry of ``codes``).  With
+        ``current``, per-transition hysteresis applies: the stripe only
+        moves to the winner if the winner's score undercuts the current
+        code's by more than the ``(current, winner)`` margin fraction —
+        otherwise it stays put, which is what keeps neighbouring codes
+        from thrashing a stripe back and forth.
+
+        Examples
+        --------
+        >>> cm = CostModel(8, 3, SystemProfile())
+        >>> cm.best_code(0.5)       # recovery-dominated stripe
+        'fr'
+        >>> cm.best_code(50.0)      # write-dominated stripe
+        'rs'
+        >>> cm.best_code(50.0, current="fr", margins=0.99)  # margin holds it
+        'fr'
+        """
+        if not codes:
+            raise ValueError("codes must be non-empty")
+        scores = {c: self.score(c, delta) for c in codes}
+        winner = min(codes, key=lambda c: scores[c])
+        if current is None or current not in codes or winner == current:
+            return winner
+        m = self.transition_margin(margins, current, winner)
+        if scores[winner] < scores[current] * (1.0 - m):
+            return winner
+        return current
 
     # -- Table III generic application/recovery entries --------------------
     def application_compute(self, code: str, beta: float) -> float:

@@ -1,4 +1,5 @@
-"""Code transformation between RS(k, r) and MSR(2r, r, r, r²) — §III-D.
+"""Code transformation between RS(k, r) and MSR(2r, r, r, r²) — §III-D,
+plus the multi-code conversion graph of the policy engine.
 
 The trick (paper eqs. (3)–(7)): slice the RS parity-coefficient matrix
 ``P`` (r×k) column-wise into q = ⌈k/r⌉ invertible r×r blocks ``B_i``.
@@ -24,15 +25,31 @@ so they act as a "highway" between the two codes:
 When r ∤ k the paper pads with virtual empty (all-zero) data nodes; we do
 the same by building the ``B_i`` from the width-qr Cauchy extension of the
 same parity family, whose first k columns coincide with RS(k, r)'s.
+
+:class:`MultiCodeConverter` extends the pair to the full RS/MSR/LRC/FR
+conversion graph of the multi-code policy engine.  RS ↔ MSR keep the
+intermediary-parity highway above; every other edge is a *journalled full
+re-encode* — read the k data chunks (decoding lost groups from the source
+family's parities when a fault hook reports them unavailable), encode the
+target family's parities, commit.  Any loss beyond what the source code
+can decode raises :class:`TransformAborted` with the inputs untouched and
+the journal entry closed as an abort, so a stripe is never left
+half-converted.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..codes import MSRCode, ReedSolomonCode
+from ..codes import (
+    FractionalRepetitionCode,
+    LocalReconstructionCode,
+    MSRCode,
+    ReedSolomonCode,
+)
 from ..gf import CodingPlan, cauchy, inverse, matmul
 from ..telemetry import METRICS
 
@@ -43,6 +60,9 @@ __all__ = [
     "RsToMsrResult",
     "MsrToRsResult",
     "FusionTransformer",
+    "CodedStripe",
+    "ConversionResult",
+    "MultiCodeConverter",
 ]
 
 
@@ -525,3 +545,278 @@ class FusionTransformer:
                 return False
         back = self.msr_to_rs([g[self.r :] for g in fwd.groups])
         return np.array_equal(back.parity, coded[self.k :])
+
+
+@dataclass
+class CodedStripe:
+    """One stripe's bytes in a specific code family.
+
+    ``data`` is always the systematic (k, L) block; ``parity`` holds the
+    family's redundancy in its own layout — RS: (r, L); MSR: (q·r, L)
+    with group i's parities at rows ``i·r..(i+1)·r``; LRC and FR: the
+    code's shards ``k..n-1`` in node order.
+    """
+
+    code: str
+    data: np.ndarray
+    parity: np.ndarray
+
+
+@dataclass
+class ConversionResult:
+    """Output of one multi-code conversion edge."""
+
+    stripe: CodedStripe
+    cost: TransformCost = field(default_factory=TransformCost)
+
+
+class MultiCodeConverter:
+    """Data-carrying conversions across the RS/MSR/LRC/FR graph.
+
+    RS ↔ MSR delegate to :class:`FusionTransformer` (the intermediary-
+    parity highway, including its fault failovers).  Every other edge is
+    a journalled full re-encode: read the k data chunks, re-encode the
+    target family's parities, commit.  ``fault_hook(phase, group)`` may
+    raise :class:`ChunkUnavailable` for ``("data", i)`` probes (data
+    group i) and ``("parity", g)`` probes (the source family's parity
+    set; g is the MSR group index, −1 otherwise); a lost data group fails
+    over to decoding from the source parities, and anything beyond that
+    aborts with the inputs untouched.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> conv = MultiCodeConverter(k=4, r=2)
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.integers(0, 256, (4, conv.subpacketization), dtype=np.uint8)
+    >>> stripe = conv.encode(data, "rs")
+    >>> out = conv.convert(stripe, "fr")
+    >>> out.stripe.code
+    'fr'
+    >>> back = conv.convert(out.stripe, "rs")
+    >>> bool(np.array_equal(back.stripe.parity, stripe.parity))
+    True
+    """
+
+    FAMILIES = ("rs", "msr", "lrc", "fr")
+
+    def __init__(
+        self,
+        k: int,
+        r: int,
+        lrc_r: int = 2,
+        lrc_z: int = 2,
+        fr_rho: int = 2,
+        fr_nodes: int | None = None,
+        w: int = 8,
+    ):
+        self.k, self.r, self._w = k, r, w
+        self.tr = FusionTransformer(k, r, w=w)
+        self.q = self.tr.q
+        self.rs = self.tr.rs
+        self.lrc = LocalReconstructionCode(k, lrc_r, lrc_z, w=w)
+        fr_n = fr_nodes if fr_nodes is not None else fr_rho * k + 1
+        self.fr = FractionalRepetitionCode(k, fr_n - k, rho=fr_rho, w=w)
+        self._group_inv_plans = [
+            CodingPlan(binv, w=w) for binv in self.tr._group_blocks_inv
+        ]
+        #: conversion journal: ("begin"|"commit"|"abort", source, target)
+        self.journal: list[tuple[str, str, str]] = []
+
+    @property
+    def subpacketization(self) -> int:
+        """Block lengths must be a multiple of this (lcm of the families')."""
+        return math.lcm(self.tr.subpacketization, self.fr.subpacketization)
+
+    @property
+    def open_journal_entries(self) -> int:
+        """Conversions begun but neither committed nor aborted (0 at rest)."""
+        begins = sum(1 for e in self.journal if e[0] == "begin")
+        closed = sum(1 for e in self.journal if e[0] in ("commit", "abort"))
+        return begins - closed
+
+    # ------------------------------------------------------------------ encode
+    def encode(self, data: np.ndarray, code: str = "rs") -> CodedStripe:
+        """Encode fresh (k, L) data directly into one family."""
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.shape[0] != self.k:
+            raise ValueError(f"expected {self.k} data blocks, got {data.shape[0]}")
+        if data.shape[1] % self.subpacketization:
+            raise ValueError(
+                f"block length {data.shape[1]} not a multiple of "
+                f"{self.subpacketization}"
+            )
+        return CodedStripe(code=code, data=data, parity=self._encode_parity(data, code))
+
+    def _encode_parity(self, data: np.ndarray, code: str) -> np.ndarray:
+        if code == "rs":
+            return self.rs.encode(data)[self.k :]
+        if code == "msr":
+            inter = self.tr.intermediary_parities(data)
+            groups = [
+                self.tr._blocks(
+                    self.tr._trans2_plans[i].apply(self.tr._syms(inter[i])), self.r
+                )
+                for i in range(self.q)
+            ]
+            return np.concatenate(groups, axis=0)
+        if code == "lrc":
+            return self.lrc.encode(data)[self.k :]
+        if code == "fr":
+            return self.fr.encode(data)[self.k :]
+        raise ValueError(f"unknown code family {code!r}; choose from {self.FAMILIES}")
+
+    # ----------------------------------------------------------------- convert
+    def convert(
+        self, stripe: CodedStripe, target: str, fault_hook=None
+    ) -> ConversionResult:
+        """Convert one stripe to ``target``, journalled and chaos-safe.
+
+        On :class:`TransformAborted` the inputs are untouched, no partial
+        output exists, and the journal entry closes as an abort.
+        """
+        if target not in self.FAMILIES:
+            raise ValueError(f"unknown code family {target!r}")
+        source = stripe.code
+        if source == target:
+            return ConversionResult(stripe=stripe)
+        self.journal.append(("begin", source, target))
+        try:
+            with METRICS.timer(f"fusion.transform.wall.{source}_to_{target}", unit="s"):
+                out = self._convert(stripe, target, fault_hook)
+        except TransformAborted:
+            self.journal.append(("abort", source, target))
+            if METRICS.enabled:
+                METRICS.counter(
+                    "fusion.transform.aborted", unit="conversions"
+                ).inc()
+            raise
+        self.journal.append(("commit", source, target))
+        return out
+
+    def _convert(
+        self, stripe: CodedStripe, target: str, fault_hook
+    ) -> ConversionResult:
+        source = stripe.code
+        if (source, target) == ("rs", "msr"):
+            res = self.tr._rs_to_msr(stripe.data, stripe.parity, fault_hook)
+            parity = np.concatenate([g[self.r :] for g in res.groups], axis=0)
+            return ConversionResult(
+                stripe=CodedStripe("msr", stripe.data, parity), cost=res.cost
+            )
+        if (source, target) == ("msr", "rs"):
+            groups = [
+                stripe.parity[i * self.r : (i + 1) * self.r] for i in range(self.q)
+            ]
+            res = self.tr._msr_to_rs(groups, fault_hook, data=stripe.data)
+            return ConversionResult(
+                stripe=CodedStripe("rs", stripe.data, res.parity), cost=res.cost
+            )
+        # journalled full re-encode for every remaining edge
+        cost = TransformCost()
+        data = self._read_data(stripe, fault_hook, cost)
+        parity = self._encode_parity(data, target)
+        cost.blocks_written = parity.shape[0]
+        cost.gf_ops += self._encode_gf_ops(target, data.shape[1])
+        if METRICS.enabled:
+            METRICS.counter(
+                f"fusion.transform.{source}_to_{target}", unit="conversions"
+            ).inc()
+            METRICS.counter("fusion.transform.gf_ops", unit="gf-ops").inc(cost.gf_ops)
+        return ConversionResult(stripe=CodedStripe(target, data, parity), cost=cost)
+
+    def _encode_gf_ops(self, code: str, L: int) -> float:
+        k, r = self.k, self.r
+        if code == "rs":
+            return float(k * r * L)
+        if code == "msr":
+            l = self.tr.subpacketization
+            return float(self.q * (r * r * L + self.tr.trans2[0].size * (L / l)))
+        if code == "lrc":
+            return float((k * self.lrc.r + (k - self.lrc.z)) * L)
+        coded = self.fr.num_chunks - self.fr.num_data_chunks
+        return float(coded * k * L)
+
+    # ----------------------------------------------------------- source reads
+    def _read_data(
+        self, stripe: CodedStripe, fault_hook, cost: TransformCost
+    ) -> np.ndarray:
+        """Read the k data chunks, decoding lost groups from source parity.
+
+        Probes ``("data", i)`` per group; a lost group probes the source
+        family's parities (``("parity", g)`` per MSR group, ``("parity",
+        -1)`` otherwise) and decodes.  Never mutates ``stripe``.
+        """
+        k, r, q = self.k, self.r, self.q
+        missing = [
+            i for i in range(q) if not self.tr._read_source(fault_hook, "data", i)
+        ]
+        if not missing:
+            cost.data_blocks_read += k
+            return stripe.data
+        lost_nodes = [
+            node for g in missing for node in range(g * r, min((g + 1) * r, k))
+        ]
+        cost.data_blocks_read += k - len(lost_nodes)
+        if stripe.code == "msr":
+            return self._decode_msr_groups(stripe, missing, lost_nodes, fault_hook, cost)
+        if not self.tr._read_source(fault_hook, "parity", -1):
+            raise TransformAborted(
+                f"{stripe.code} re-encode: data groups {missing} and the "
+                f"{stripe.code} parities are all unavailable"
+            )
+        code = {"rs": self.rs, "lrc": self.lrc, "fr": self.fr}[stripe.code]
+        shards = {i: stripe.data[i] for i in range(k) if i not in lost_nodes}
+        shards.update({k + j: stripe.parity[j] for j in range(stripe.parity.shape[0])})
+        try:
+            data = code.decode_data(shards)
+        except Exception as exc:
+            raise TransformAborted(
+                f"{stripe.code} re-encode: decode of lost groups {missing} "
+                f"failed ({exc})"
+            ) from exc
+        cost.parity_blocks_read += stripe.parity.shape[0]
+        cost.gf_ops += len(lost_nodes) * k * stripe.data.shape[1]
+        return data
+
+    def _decode_msr_groups(
+        self,
+        stripe: CodedStripe,
+        missing: list[int],
+        lost_nodes: list[int],
+        fault_hook,
+        cost: TransformCost,
+    ) -> np.ndarray:
+        """MSR source: a group's data is B_i⁻¹·Trans1_i(its own parities)."""
+        r, k, L = self.r, self.k, stripe.data.shape[1]
+        data = stripe.data.copy()
+        for g in missing:
+            if not self.tr._read_source(fault_hook, "parity", g):
+                raise TransformAborted(
+                    f"msr re-encode: group {g} data and parities both lost"
+                )
+            par = stripe.parity[g * r : (g + 1) * r]
+            p_syms = self.tr._trans1_plans[g].apply(self.tr._syms(par))
+            p_i = self.tr._blocks(p_syms, r)
+            grp = self._group_inv_plans[g].apply(p_i)  # eq. (4): d_i = B_i⁻¹·p′_i
+            for row, node in enumerate(range(g * r, min((g + 1) * r, k))):
+                data[node] = grp[row]
+            cost.parity_blocks_read += r
+            cost.gf_ops += self.tr.trans1[g].size * (L / self.tr.subpacketization)
+            cost.gf_ops += r * r * L
+        return data
+
+    # -------------------------------------------------------------- validation
+    def verify_roundtrip(self, rng: np.random.Generator, L: int | None = None) -> bool:
+        """Self-check: a full tour rs → lrc → fr → msr → rs preserves the
+        data bytes and reproduces the original RS parities exactly."""
+        if L is None:
+            L = self.subpacketization * 4
+        data = rng.integers(0, 256, (self.k, L), dtype=np.uint8)
+        stripe = self.encode(data, "rs")
+        original_parity = stripe.parity.copy()
+        for target in ("lrc", "fr", "msr", "rs"):
+            stripe = self.convert(stripe, target).stripe
+            if not np.array_equal(stripe.data, data):
+                return False
+        return np.array_equal(stripe.parity, original_parity)

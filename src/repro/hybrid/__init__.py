@@ -1,14 +1,16 @@
 """Redundancy-scheme planners: static baselines + adaptive hybrids.
 
-These are the five contenders of the paper's evaluation —
-RS, MSR, LRC (static), HACFS and EC-Fusion (adaptive) — expressed as
+The paper's five contenders — RS, MSR, LRC (static), HACFS and EC-Fusion
+(adaptive) — plus the FR baseline and the multi-code policy engine
+(:class:`~repro.hybrid.multicode.MultiCodePlanner`), all expressed as
 :class:`~repro.hybrid.planners.SchemePlanner` objects that the cluster
 simulator and the analytic metrics share.
 """
 
 from .fusion_planner import ECFusionPlanner
 from .hacfs import HACFSPlanner
-from .planners import LRCPlanner, MSRPlanner, RSPlanner, SchemePlanner
+from .multicode import MultiCodePlanner
+from .planners import FRPlanner, LRCPlanner, MSRPlanner, RSPlanner, SchemePlanner
 from .plans import OpPlan, PlanKind
 
 __all__ = [
@@ -18,6 +20,8 @@ __all__ = [
     "RSPlanner",
     "MSRPlanner",
     "LRCPlanner",
+    "FRPlanner",
     "HACFSPlanner",
     "ECFusionPlanner",
+    "MultiCodePlanner",
 ]

@@ -1,0 +1,267 @@
+"""Simulator-facing planner for the multi-code policy engine.
+
+Wraps the same :class:`~repro.fusion.adaptation.AdaptiveSelector` as
+:class:`~repro.hybrid.fusion_planner.ECFusionPlanner`, but in multi-code
+mode: every stripe is re-scored across the enabled code families (RS, MSR,
+LRC, FR by default) on each trigger, with per-transition hysteresis
+margins.  The planner translates the selector's
+:class:`~repro.fusion.adaptation.Conversion` commands into
+:class:`~repro.hybrid.plans.OpPlan` costs:
+
+* RS ↔ MSR conversions reuse the intermediary-parity accounting of
+  :class:`~repro.fusion.transform.FusionTransformer` (the cheap edges);
+* every other edge is a journalled *full re-encode*: read the k data
+  chunks, compute the target family's parities, write them — matching
+  :class:`~repro.fusion.transform.MultiCodeConverter`.
+
+Slot layout per stripe: ``0..k-1`` data chunks always; parity/replica
+chunks occupy ``k..width-1`` in the current family's own layout (RS: r
+parities; MSR: q·r group parities; LRC: z local + lrc_r global; FR:
+``fr_n − k`` replica nodes).  ``width`` is the maximum over the enabled
+families, so one placement group fits every residency.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..codes.fr import FractionalRepetitionCode
+from ..fusion.adaptation import AdaptiveSelector, CodeKind, Conversion
+from ..fusion.costmodel import CODE_FAMILIES, CostModel, SystemProfile
+from ..fusion.queues import CachePolicy
+from .planners import SchemePlanner
+from .plans import OpPlan, PlanKind
+
+__all__ = ["MultiCodePlanner"]
+
+
+class MultiCodePlanner(SchemePlanner):
+    """Adaptive policy over the RS/MSR/LRC/FR code families.
+
+    Parameters mirror :class:`~repro.hybrid.fusion_planner.ECFusionPlanner`
+    plus the multi-code knobs of
+    :class:`~repro.fusion.costmodel.CostModel` (``lrc_r``/``lrc_z``,
+    ``fr_rho``, ``storage_weight``) and the per-transition hysteresis
+    ``margins`` (scalar fraction or ``(current, target)`` mapping).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        r: int,
+        gamma: float,
+        profile: SystemProfile | None = None,
+        codes: tuple[str, ...] = CODE_FAMILIES,
+        queue_capacity: int = 256,
+        policy: CachePolicy = CachePolicy.LRU,
+        margins: float | Mapping[tuple[str, str], float] = 0.1,
+        idle_window: int | None = None,
+        lrc_r: int = 2,
+        lrc_z: int = 2,
+        fr_rho: int = 2,
+        storage_weight: float = 1.5,
+    ):
+        self.k, self.r, self.gamma = k, r, gamma
+        self.q = -(-k // r)
+        self.l = r * r  # MSR(2r, r) sub-packetization
+        profile = (profile or SystemProfile()).with_gamma(gamma)
+        self.cost_model = CostModel(
+            k,
+            r,
+            profile,
+            lrc_r=lrc_r,
+            lrc_z=lrc_z,
+            fr_rho=fr_rho,
+            storage_weight=storage_weight,
+        )
+        self.selector = AdaptiveSelector(
+            self.cost_model,
+            queue_capacity=queue_capacity,
+            policy=policy,
+            idle_window=idle_window,
+            codes=codes,
+            margins=margins,
+        )
+        self.name = f"Policy({k},{r})"
+        # the FR member's real placement prices its repair reads exactly
+        self.fr_code = (
+            FractionalRepetitionCode(k, self.cost_model.fr_n - k, rho=fr_rho)
+            if CodeKind.FR in self.selector.codes
+            else None
+        )
+        self._seen: set[Hashable] = set()
+        #: executed residency per stripe (conversion *sources* come from here;
+        #: the selector's flag has already flipped by the time plans build)
+        self._resident: dict[Hashable, CodeKind] = {}
+        self.conversion_count = 0
+
+    # -- layout ----------------------------------------------------------------
+    def _parity_slots(self, kind: CodeKind) -> list[int]:
+        k = self.k
+        if kind is CodeKind.RS:
+            return list(range(k, k + self.r))
+        if kind is CodeKind.MSR:
+            return list(range(k, k + self.q * self.r))
+        if kind is CodeKind.LRC:
+            return list(range(k, k + self.cost_model.lrc_z + self.cost_model.lrc_r))
+        return list(range(k, self.cost_model.fr_n))
+
+    @property
+    def width(self) -> int:
+        return max(
+            self.k + len(self._parity_slots(kind)) for kind in self.selector.codes
+        )
+
+    def code_of(self, stripe: Hashable) -> CodeKind:
+        return self.selector.code_of(stripe)
+
+    def storage_overhead(self) -> float:
+        if not self._seen:
+            return self.cost_model.storage_overhead(self.selector.default.value)
+        total = sum(
+            self.cost_model.storage_overhead(self.selector.code_of(s).value)
+            for s in self._seen
+        )
+        return total / len(self._seen)
+
+    # -- conversions -----------------------------------------------------------
+    def _conversion_plans(self, conversions: list[Conversion]) -> list[OpPlan]:
+        plans = []
+        for conv in conversions:
+            if conv.stripe not in self._seen:
+                continue  # flag flip on a stripe that holds no data yet
+            source = self._resident.get(conv.stripe, self.selector.default)
+            if source is conv.target:
+                continue
+            self.conversion_count += 1
+            self._resident[conv.stripe] = conv.target
+            plans.append(self._conversion_plan(source, conv.target))
+        return plans
+
+    def _conversion_plan(self, source: CodeKind, target: CodeKind) -> OpPlan:
+        g, r, q, l = self.gamma, self.r, self.q, self.l
+        k = self.k
+        if source is CodeKind.RS and target is CodeKind.MSR:
+            # intermediary-parity highway (Fig. 12(b)): skip the last group
+            reads = {s: g for s in range((q - 1) * r)}
+            reads.update({k + i: g for i in range(r)})
+            writes = {k + i: g for i in range(q * r)}
+            compute = (q - 1) * r * r * g + q * r * r * l * g
+        elif source is CodeKind.MSR and target is CodeKind.RS:
+            reads = {k + i: g for i in range(q * r)}
+            writes = {k + i: g for i in range(r)}
+            compute = q * r * r * l * g
+        else:
+            # journalled full re-encode: read the k data chunks, write the
+            # target family's parities (old parities are simply retired)
+            reads = {s: g for s in range(k)}
+            writes = {s: g for s in self._parity_slots(target)}
+            compute = self._encode_compute(target)
+        return OpPlan(
+            PlanKind.CONVERSION,
+            compute_ops=compute,
+            reads=reads,
+            writes=writes,
+            distributed=True,
+        )
+
+    def _encode_compute(self, kind: CodeKind) -> float:
+        g, k, r = self.gamma, self.k, self.r
+        if kind is CodeKind.RS:
+            return g * k * r
+        if kind is CodeKind.MSR:
+            return self.q * (self.l**3 + self.l * g * r * r)
+        if kind is CodeKind.LRC:
+            cm = self.cost_model
+            return g * (k * cm.lrc_r + (k - cm.lrc_z))
+        coded_chunks = self.fr_code.num_chunks - self.fr_code.num_data_chunks
+        return g * coded_chunks * k
+
+    # -- operations ---------------------------------------------------------------
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        conversions = self.selector.on_write(stripe)
+        # a full-stripe write re-encodes from fresh data: a flip of the
+        # *written* stripe costs nothing extra beyond the write itself
+        plans = self._conversion_plans([c for c in conversions if c.stripe != stripe])
+        self._seen.add(stripe)
+        kind = self.selector.code_of(stripe)
+        self._resident[stripe] = kind
+        writes = {s: self.gamma for s in range(self.k)}
+        writes.update({s: self.gamma for s in self._parity_slots(kind)})
+        plans.append(
+            OpPlan(PlanKind.WRITE, compute_ops=self._encode_compute(kind), writes=writes)
+        )
+        return plans
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        self._touch(stripe)
+        plans = self._conversion_plans(self.selector.on_read(stripe))
+        return plans + [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        self._touch(stripe)
+        plans = self._conversion_plans(self.selector.on_recovery(stripe))
+        plans.append(self._recovery_plan(self.selector.code_of(stripe), block))
+        return plans
+
+    def _touch(self, stripe: Hashable) -> None:
+        """A stripe being read or repaired physically exists."""
+        if stripe not in self._seen:
+            self._seen.add(stripe)
+            self._resident[stripe] = self.selector.code_of(stripe)
+
+    def _recovery_plan(self, kind: CodeKind, block: int) -> OpPlan:
+        g, k, r = self.gamma, self.k, self.r
+        if kind is CodeKind.RS:
+            helpers = [s for s in range(k + r) if s != block][:k]
+            return OpPlan(
+                PlanKind.RECOVERY,
+                compute_ops=(k + r) * r**2 + g * k,
+                reads={s: g for s in helpers},
+                writes={block: g},
+            )
+        if kind is CodeKind.MSR:
+            group = block // r
+            group_data = [
+                s for s in range(group * r, (group + 1) * r) if s != block and s < k
+            ]
+            group_parity = [k + group * r + j for j in range(r)]
+            return OpPlan(
+                PlanKind.RECOVERY,
+                compute_ops=self.l**3 + self.l * g * (2 * r - 1) / r,
+                reads={s: g / r for s in group_data + group_parity},
+                writes={block: g},
+            )
+        if kind is CodeKind.LRC:
+            cm = self.cost_model
+            group_size = k // cm.lrc_z
+            group = block // group_size
+            peers = [
+                s
+                for s in range(group * group_size, (group + 1) * group_size)
+                if s != block
+            ]
+            helpers = peers + [k + group]
+            return OpPlan(
+                PlanKind.RECOVERY,
+                compute_ops=g * group_size,
+                reads={s: g for s in helpers},
+                writes={block: g},
+            )
+        fractions = self.fr_code.repair_read_fractions(block)
+        return OpPlan(
+            PlanKind.RECOVERY,
+            compute_ops=0.0,
+            reads={s: frac * g for s, frac in fractions.items()},
+            writes={block: g},
+        )
+
+    # -- reporting ----------------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        return {
+            **self.selector.stats(),
+            "executed_conversions": self.conversion_count,
+            "storage_overhead": self.storage_overhead(),
+        }

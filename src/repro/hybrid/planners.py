@@ -1,4 +1,4 @@
-"""Scheme planners for the static (single-code) baselines: RS, MSR, LRC.
+"""Scheme planners for the static (single-code) baselines: RS, MSR, LRC, FR.
 
 Each planner answers, for one chunk size γ, what a full-stripe write, a
 single-chunk read, and a single-chunk recovery cost in reads/writes/compute
@@ -15,9 +15,10 @@ from __future__ import annotations
 import abc
 from typing import Hashable
 
+from ..codes.fr import FractionalRepetitionCode
 from .plans import OpPlan, PlanKind
 
-__all__ = ["SchemePlanner", "RSPlanner", "MSRPlanner", "LRCPlanner"]
+__all__ = ["SchemePlanner", "RSPlanner", "MSRPlanner", "LRCPlanner", "FRPlanner"]
 
 
 class SchemePlanner(abc.ABC):
@@ -216,6 +217,50 @@ class LRCPlanner(SchemePlanner):
                 kind=PlanKind.RECOVERY,
                 compute_ops=self.gamma * self.group_size,
                 reads={s: self.gamma for s in helpers},
+                writes={block: self.gamma},
+            )
+        ]
+
+
+class FRPlanner(SchemePlanner):
+    """FR(k, r, ρ): uncoded copy repair at replication-grade storage.
+
+    The planner instantiates the real
+    :class:`~repro.codes.fr.FractionalRepetitionCode` so its recovery
+    reads follow the code's actual replica placement — the simulator and
+    the codec price repair identically (γ bytes total, spread over the
+    ≤ ρ replica holders of the lost chunks, zero GF compute).
+    """
+
+    def __init__(self, k: int, r: int, gamma: float, rho: int = 2):
+        self.code = FractionalRepetitionCode(k, r, rho=rho)
+        self.k, self.r, self.gamma, self.rho = k, r, gamma, rho
+        self.name = self.code.name
+
+    @property
+    def width(self) -> int:
+        return self.k + self.r
+
+    def storage_overhead(self) -> float:
+        return (self.k + self.r) / self.k
+
+    def plan_write(self, stripe: Hashable) -> list[OpPlan]:
+        # only the θ − B precode chunks cost GF multiplies; replication is free
+        coded_chunks = self.code.num_chunks - self.code.num_data_chunks
+        return [self._write_all(self.width, compute=self.gamma * coded_chunks * self.k)]
+
+    def plan_read(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        return [self._read_one(block)]
+
+    def plan_recovery(self, stripe: Hashable, block: int) -> list[OpPlan]:
+        self._check_block(block)
+        fractions = self.code.repair_read_fractions(block)
+        return [
+            OpPlan(
+                kind=PlanKind.RECOVERY,
+                compute_ops=0.0,
+                reads={s: frac * self.gamma for s, frac in fractions.items()},
                 writes={block: self.gamma},
             )
         ]

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codes import (
+    FractionalRepetitionCode,
     EvenOddCode,
     HitchhikerCode,
     ProductCode,
@@ -38,6 +39,8 @@ def all_codes():
         RDPCode(5),
         HitchhikerCode(6, 3),
         ProductCode(2, 1, 2, 1),
+        FractionalRepetitionCode(4, 5),
+        FractionalRepetitionCode(2, 3, rho=2),
     ]
 
 

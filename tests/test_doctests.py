@@ -12,6 +12,7 @@ import pytest
 import repro.cluster.events
 import repro.cluster.pipeline
 import repro.codes.evenodd
+import repro.codes.fr
 import repro.codes.hitchhiker
 import repro.codes.lrc
 import repro.codes.msr
@@ -19,6 +20,7 @@ import repro.codes.product
 import repro.codes.rdp
 import repro.codes.rs
 import repro.fusion.adaptation
+import repro.fusion.costmodel
 import repro.fusion.framework
 import repro.fusion.queues
 import repro.fusion.transform
@@ -31,10 +33,12 @@ MODULES = [
     repro.codes.product,
     repro.codes.lrc,
     repro.codes.evenodd,
+    repro.codes.fr,
     repro.codes.rdp,
     repro.codes.hitchhiker,
     repro.fusion.queues,
     repro.fusion.adaptation,
+    repro.fusion.costmodel,
     repro.fusion.framework,
     repro.fusion.transform,
     repro.cluster.events,

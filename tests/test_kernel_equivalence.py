@@ -25,6 +25,7 @@ import numpy as np
 import pytest
 
 from repro.codes import (
+    FractionalRepetitionCode,
     EvenOddCode,
     HitchhikerCode,
     LocalReconstructionCode,
@@ -50,6 +51,7 @@ def all_codes():
         RDPCode(5),
         HitchhikerCode(6, 3),
         ProductCode(2, 1, 2, 1),
+        FractionalRepetitionCode(4, 5),
     ]
 
 

@@ -1,0 +1,151 @@
+"""Cross-family conversion safety for :class:`MultiCodeConverter`.
+
+The converter owns all 12 ordered edges of the {rs, msr, lrc, fr}
+conversion graph: RS↔MSR ride the intermediary-parity highway of
+:class:`FusionTransformer`, every other edge is a journalled full
+re-encode.  These tests pin the three safety properties the chaos
+invariant sweep relies on:
+
+* clean conversions are byte-identical to encoding the target directly;
+* any single lost data group fails over (decode from source parities)
+  and still produces byte-identical output;
+* unrecoverable losses abort with the inputs untouched and the journal
+  balanced (``open_journal_entries == 0``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import verify_multicode_conversion_safety
+from repro.fusion import (
+    ChunkUnavailable,
+    CodedStripe,
+    MultiCodeConverter,
+    TransformAborted,
+)
+
+SHAPES = [(4, 2), (8, 3)]
+
+
+def converter(k, r):
+    return MultiCodeConverter(k, r)
+
+
+def _lose(lost):
+    """Fault hook losing the given ``(phase, group)`` probes (None = all)."""
+
+    def hook(phase, group):
+        if lost is None or (phase, group) in lost:
+            raise ChunkUnavailable(phase, group)
+
+    return hook
+
+
+def payload(conv, rng, blocks=1):
+    L = conv.subpacketization * blocks
+    return rng.integers(0, 256, (conv.k, L), dtype=np.uint8)
+
+
+@pytest.mark.parametrize("k,r", SHAPES)
+class TestCleanConversions:
+    def test_every_edge_matches_direct_encode(self, k, r):
+        conv = converter(k, r)
+        rng = np.random.default_rng(23)
+        data = payload(conv, rng)
+        for src in conv.FAMILIES:
+            stripe = conv.encode(data, src)
+            for tgt in conv.FAMILIES:
+                if tgt == src:
+                    continue
+                res = conv.convert(stripe, tgt)
+                direct = conv.encode(data, tgt)
+                assert np.array_equal(res.stripe.data, data), (src, tgt)
+                assert np.array_equal(res.stripe.parity, direct.parity), (src, tgt)
+
+    def test_roundtrip_tour(self, k, r):
+        conv = converter(k, r)
+        conv.verify_roundtrip(np.random.default_rng(29))
+
+    def test_conversion_costs_are_positive(self, k, r):
+        conv = converter(k, r)
+        rng = np.random.default_rng(31)
+        stripe = conv.encode(payload(conv, rng), "rs")
+        res = conv.convert(stripe, "fr")
+        assert res.cost.data_blocks_read > 0
+        assert res.cost.blocks_written > 0
+
+
+@pytest.mark.parametrize("k,r", SHAPES)
+class TestChaosSafety:
+    def test_invariant_sweep_is_clean(self, k, r):
+        assert verify_multicode_conversion_safety(
+            k, r, np.random.default_rng(37)
+        ) == []
+
+    def test_single_data_loss_fails_over(self, k, r):
+        conv = converter(k, r)
+        rng = np.random.default_rng(41)
+        data = payload(conv, rng)
+        stripe = conv.encode(data, "lrc")
+        res = conv.convert(stripe, "fr", fault_hook=_lose({("data", 0)}))
+        direct = conv.encode(data, "fr")
+        assert np.array_equal(res.stripe.parity, direct.parity)
+        assert conv.open_journal_entries == 0
+
+    def test_unrecoverable_loss_aborts_and_rolls_back(self, k, r):
+        conv = converter(k, r)
+        rng = np.random.default_rng(43)
+        data = payload(conv, rng)
+        stripe = conv.encode(data, "lrc")
+        before_data = stripe.data.copy()
+        before_parity = stripe.parity.copy()
+        with pytest.raises(TransformAborted):
+            conv.convert(
+                stripe, "fr", fault_hook=_lose({("data", 0), ("parity", -1)})
+            )
+        # chaos-safe: the abort leaves the source stripe untouched and
+        # the journal balanced — no half-written target survives
+        assert np.array_equal(stripe.data, before_data)
+        assert np.array_equal(stripe.parity, before_parity)
+        assert conv.open_journal_entries == 0
+        assert conv.journal[-1][0] == "abort"
+
+    def test_abort_is_counted(self, k, r):
+        from repro import telemetry
+
+        telemetry.enable(metrics=True, tracing=False, snapshots=False)
+        telemetry.METRICS.reset()
+        try:
+            conv = converter(k, r)
+            stripe = conv.encode(payload(conv, np.random.default_rng(47)), "rs")
+            with pytest.raises(TransformAborted):
+                conv.convert(stripe, "lrc", fault_hook=_lose(None))
+            state = telemetry.METRICS.export_state()
+            flat = str(state)
+            assert "fusion.transform.aborted" in flat
+        finally:
+            telemetry.METRICS.reset()
+            telemetry.METRICS.enabled = False
+
+
+class TestValidation:
+    def test_unknown_family_rejected(self):
+        conv = converter(4, 2)
+        data = payload(conv, np.random.default_rng(53))
+        with pytest.raises((KeyError, ValueError)):
+            conv.encode(data, "evenodd")
+        stripe = conv.encode(data, "rs")
+        with pytest.raises((KeyError, ValueError)):
+            conv.convert(stripe, "evenodd")
+
+    def test_bad_block_length_rejected(self):
+        conv = converter(4, 2)
+        L = conv.subpacketization
+        bad = np.zeros((4, L + 1), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            conv.encode(bad, "msr")
+
+    def test_subpacketization_covers_msr_and_fr(self):
+        conv = converter(4, 2)
+        assert conv.subpacketization % conv.tr.subpacketization == 0
+        assert conv.subpacketization % conv.fr.subpacketization == 0
